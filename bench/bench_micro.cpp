@@ -1,0 +1,144 @@
+/// Substrate micro-benchmarks (google-benchmark): FIB longest-prefix
+/// match, ECMP hashing, SPF computation, event-queue throughput and
+/// topology construction. These back the claim that the simulator is a
+/// packet-level engine fast enough for the paper's 600 s emulations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/f2tree.hpp"
+#include "routing/ecmp.hpp"
+
+using namespace f2t;
+
+namespace {
+
+void BM_FibLookup(benchmark::State& state) {
+  routing::Fib fib;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    fib.install(routing::Route{
+        net::Prefix(net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(i % 256),
+                                  0),
+                    24),
+        {routing::NextHop{static_cast<net::PortId>(i % 8), {}}},
+        routing::RouteSource::kOspf});
+  }
+  fib.install(routing::Route{net::Prefix::parse("10.11.0.0/16"),
+                             {routing::NextHop{9, {}}},
+                             routing::RouteSource::kStatic});
+  auto up = [](net::PortId) { return true; };
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(10, 11, static_cast<std::uint8_t>(i++ % 256), 7);
+    benchmark::DoNotOptimize(fib.lookup(dst, up));
+  }
+}
+BENCHMARK(BM_FibLookup)->Arg(32)->Arg(256);
+
+void BM_FibLookupFallthrough(benchmark::State& state) {
+  // The fast-reroute path: the /24 is dead, lookup falls to the statics.
+  routing::Fib fib;
+  fib.install(routing::Route{net::Prefix::parse("10.11.3.0/24"),
+                             {routing::NextHop{0, {}}},
+                             routing::RouteSource::kOspf});
+  fib.install(routing::Route{net::Prefix::parse("10.11.0.0/16"),
+                             {routing::NextHop{1, {}}},
+                             routing::RouteSource::kStatic});
+  fib.install(routing::Route{net::Prefix::parse("10.10.0.0/15"),
+                             {routing::NextHop{2, {}}},
+                             routing::RouteSource::kStatic});
+  auto up = [](net::PortId p) { return p != 0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.lookup(net::Ipv4Addr(10, 11, 3, 9), up));
+  }
+}
+BENCHMARK(BM_FibLookupFallthrough);
+
+void BM_EcmpHash(benchmark::State& state) {
+  net::Packet p;
+  p.src = net::Ipv4Addr(10, 11, 0, 10);
+  p.dst = net::Ipv4Addr(10, 11, 9, 10);
+  std::uint16_t sport = 0;
+  for (auto _ : state) {
+    p.sport = ++sport;
+    benchmark::DoNotOptimize(routing::ecmp_select(p, 42, 4));
+  }
+}
+BENCHMARK(BM_EcmpHash);
+
+void BM_Spf(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto topo =
+      topo::build_fat_tree(net, topo::FatTreeOptions{.ports = ports});
+  // Build the full LSDB by hand (what warm start does).
+  std::vector<std::unique_ptr<routing::Ospf>> instances;
+  for (auto* sw : topo.all_switches()) {
+    auto inst = std::make_unique<routing::Ospf>(*sw);
+    if (auto it = topo.subnet_of_tor.find(sw); it != topo.subnet_of_tor.end()) {
+      inst->redistribute(it->second);
+    }
+    instances.push_back(std::move(inst));
+  }
+  routing::Lsdb lsdb;
+  for (auto& inst : instances) lsdb.consider(inst->make_self_lsa());
+  // Compute at one core switch.
+  auto* sw = topo.cores.front();
+  std::vector<routing::LocalAdjacency> adj;
+  for (net::PortId p = 0; p < sw->port_count(); ++p) {
+    adj.push_back({p, sw->port(p).peer_addr});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::compute_spf(lsdb, sw->router_id(), adj));
+  }
+}
+BENCHMARK(BM_Spf)->Arg(8)->Arg(16);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(i * 10, [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_BuildTopology(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Network net(sim);
+    benchmark::DoNotOptimize(topo::build_f2tree(net, ports));
+  }
+}
+BENCHMARK(BM_BuildTopology)->Arg(8)->Arg(16);
+
+void BM_EndToEndUdpSecond(benchmark::State& state) {
+  // One simulated second of the paper's CBR probe through an 8-port
+  // F²Tree: the unit of work behind every recovery experiment.
+  for (auto _ : state) {
+    core::Testbed bed(
+        [](net::Network& n) { return topo::build_f2tree(n, 8); });
+    bed.converge();
+    auto& topo = bed.topo();
+    transport::UdpSink sink(bed.stack_of(*topo.hosts.back()), 9000);
+    transport::UdpCbrSender::Options so;
+    so.stop = sim::seconds(1);
+    transport::UdpCbrSender sender(bed.stack_of(*topo.hosts.front()),
+                                   topo.hosts.back()->addr(), so);
+    sender.start();
+    bed.sim().run(sim::seconds(1));
+    benchmark::DoNotOptimize(sink.packets_received());
+  }
+}
+BENCHMARK(BM_EndToEndUdpSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

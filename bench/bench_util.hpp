@@ -1,0 +1,51 @@
+#pragma once
+
+/// Shared aliases for the paper-reproduction benches: the actual
+/// experiment drivers live in the library (core/runner.hpp) so the CLI
+/// tool and the tests use exactly the same code paths.
+
+#include <iostream>
+
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+
+namespace f2t::bench {
+
+using core::Testbed;
+
+using ExperimentKnobs = core::RunKnobs;
+using UdpExperiment = core::UdpRun;
+using TcpExperiment = core::TcpRun;
+
+inline Testbed::TopoBuilder fat_tree_builder(int ports) {
+  return core::topology_builder("fat", ports);
+}
+
+inline Testbed::TopoBuilder f2tree_builder(int ports, int ring_width = 2) {
+  return core::topology_builder("f2", ports, ring_width);
+}
+
+inline UdpExperiment run_udp_experiment(const Testbed::TopoBuilder& builder,
+                                        failure::Condition condition,
+                                        const ExperimentKnobs& knobs = {}) {
+  return core::run_udp_condition(builder, condition, knobs);
+}
+
+inline TcpExperiment run_tcp_experiment(const Testbed::TopoBuilder& builder,
+                                        failure::Condition condition,
+                                        const ExperimentKnobs& knobs = {}) {
+  return core::run_tcp_condition(builder, condition, knobs);
+}
+
+/// Renders a throughput time series as compact rows for plotting.
+inline void print_throughput_series(std::ostream& os, const std::string& name,
+                                    const stats::ThroughputMeter& meter,
+                                    sim::Time from, sim::Time to) {
+  os << "# " << name << ": time_ms throughput_mbps\n";
+  for (const auto& bin : meter.series(from, to)) {
+    os << "  " << sim::to_millis(bin.start) << " "
+       << stats::Table::num(bin.mbps, 1) << "\n";
+  }
+}
+
+}  // namespace f2t::bench

@@ -1,0 +1,64 @@
+/// Quickstart: build an F²Tree, break a downward link, watch fast reroute.
+///
+///   $ ./quickstart
+///
+/// Walks through the library's core loop in ~60 lines: assemble a Testbed
+/// from a topology builder, converge the control plane, attach a UDP probe
+/// flow, inject a failure, and read the recovery metrics.
+
+#include <iostream>
+
+#include "core/f2tree.hpp"
+
+int main() {
+  using namespace f2t;
+
+  // 1. A ready-to-run network: 8-port F²Tree + OSPF-like control plane +
+  //    BFD-like detection + backup static routes (installed automatically
+  //    for F² topologies).
+  core::Testbed bed(
+      [](net::Network& n) { return topo::build_f2tree(n, /*ports=*/8); });
+  bed.converge();  // converged FIBs at t = 0
+  std::cout << "built: " << bed.topo().summary() << "\n";
+
+  // 2. A probe flow between the leftmost and rightmost hosts, and the
+  //    paper's C1 condition (one downward ToR<->agg link on its path).
+  const auto plan =
+      failure::build_condition(bed.topo(), failure::Condition::kC1);
+  if (!plan) {
+    std::cerr << "no scenario\n";
+    return 1;
+  }
+  std::cout << "scenario: " << plan->description << "\n";
+
+  transport::UdpSink sink(bed.stack_of(*plan->dst), plan->dport);
+  transport::UdpCbrSender::Options opts;
+  opts.sport = plan->sport;
+  opts.dport = plan->dport;
+  opts.stop = sim::seconds(2);
+  transport::UdpCbrSender sender(bed.stack_of(*plan->src), plan->dst->addr(),
+                                 opts);
+  sender.start();
+
+  // 3. Fail the link at t = 380 ms and run.
+  const sim::Time fail_at = sim::millis(380);
+  for (net::Link* link : plan->fail_links) {
+    bed.injector().fail_at(*link, fail_at);
+  }
+  bed.sim().run(sim::seconds(3));
+
+  // 4. Metrics: the connectivity gap should be the 60 ms detection time —
+  //    no control-plane wait, because the pre-installed /16 static route
+  //    through the right across neighbour takes over in the FIB.
+  std::vector<sim::Time> arrivals;
+  for (const auto& a : sink.arrivals()) arrivals.push_back(a.at);
+  const auto loss = stats::find_connectivity_loss(arrivals, fail_at);
+  std::cout << "packets sent: " << sender.packets_sent()
+            << ", received: " << sink.packets_received() << "\n";
+  std::cout << "connectivity loss: "
+            << (loss ? sim::format_time(loss->duration())
+                     : std::string("none"))
+            << " (fat tree would be ~270 ms; F2Tree is detection-bound at "
+               "~60 ms)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// Topology explorer: build any of the library's topologies and print its
+/// structure — tiers, pods, ring wiring, addressing, per-switch FIB sizes
+/// after convergence, and the Table II backup routes of a sample switch.
+///
+///   $ ./topology_report [fat|f2|f2scaled|leafspine|leafspine-f2|vl2|vl2-f2] [ports] [--dot]
+///
+/// Defaults: f2 8. With --dot, emits Graphviz instead (pipe into `dot`).
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/f2tree.hpp"
+#include "topo/graphviz.hpp"
+
+using namespace f2t;
+
+int main(int argc, char** argv) {
+  const std::string kind = argc > 1 ? argv[1] : "f2";
+  const int ports = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  core::Testbed::TopoBuilder builder;
+  if (kind == "fat") {
+    builder = [ports](net::Network& n) {
+      return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = ports});
+    };
+  } else if (kind == "f2") {
+    builder = [ports](net::Network& n) {
+      return topo::build_f2tree(n, ports);
+    };
+  } else if (kind == "f2scaled") {
+    builder = [ports](net::Network& n) {
+      return topo::build_f2tree_scaled(n,
+                                       topo::F2TreeScaledOptions{ports, -1});
+    };
+  } else if (kind == "leafspine" || kind == "leafspine-f2") {
+    builder = [ports, kind](net::Network& n) {
+      return topo::build_leaf_spine(
+          n, topo::LeafSpineOptions{.ports = ports,
+                                    .f2_rewire = kind == "leafspine-f2"});
+    };
+  } else if (kind == "vl2" || kind == "vl2-f2") {
+    builder = [ports, kind](net::Network& n) {
+      return topo::build_vl2(
+          n, topo::Vl2Options{.ports = ports, .f2_rewire = kind == "vl2-f2"});
+    };
+  } else {
+    std::cerr << "unknown topology kind: " << kind << "\n";
+    return 1;
+  }
+
+  core::Testbed bed(builder);
+  bed.converge();
+  const auto& topo = bed.topo();
+
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      topo::write_graphviz(std::cout, topo);
+      return 0;
+    }
+  }
+
+  std::cout << topo.summary() << "\n";
+  const auto violations = topo::validate_topology(topo);
+  std::cout << "validation: "
+            << (violations.empty() ? "OK"
+                                   : std::to_string(violations.size()) +
+                                         " violations")
+            << "\n";
+
+  std::cout << "\npods:\n";
+  for (std::size_t p = 0; p < topo.pods.size(); ++p) {
+    std::cout << "  pod " << p << ": aggs {";
+    for (const auto* agg : topo.pods[p].aggs) std::cout << " " << agg->name();
+    std::cout << " } tors {";
+    for (const auto* tor : topo.pods[p].tors) std::cout << " " << tor->name();
+    std::cout << " }\n";
+  }
+
+  if (!topo.rings.empty()) {
+    std::cout << "\nacross rings (" << topo.rings.size()
+              << " switches, width " << topo.ring_width << "):\n";
+    for (const auto* sw : topo.aggs) {
+      const auto it = topo.rings.find(sw);
+      if (it == topo.rings.end()) continue;
+      std::cout << "  " << sw->name() << ": right ->";
+      for (const auto port : it->second.right) {
+        std::cout << " "
+                  << bed.network().node(sw->port(port).peer_node).name();
+      }
+      std::cout << ", left ->";
+      for (const auto port : it->second.left) {
+        std::cout << " "
+                  << bed.network().node(sw->port(port).peer_node).name();
+      }
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "\nFIB sizes after convergence:\n";
+  auto show = [&](const char* tier, const std::vector<net::L3Switch*>& sws) {
+    if (sws.empty()) return;
+    std::size_t total = 0;
+    for (const auto* sw : sws) total += sw->fib().size();
+    std::cout << "  " << tier << ": " << sws.size() << " switches, avg "
+              << total / sws.size() << " routes\n";
+  };
+  auto topo_copy = topo;  // non-const accessors
+  show("tor", topo_copy.tors);
+  show("agg", topo_copy.aggs);
+  show("core", topo_copy.cores);
+
+  if (!topo.aggs.empty()) {
+    auto* sample = topo_copy.aggs.front();
+    std::cout << "\nrouting table of " << sample->name()
+              << " (cf. Table II):\n";
+    for (const auto& route : sample->fib().dump()) {
+      std::cout << "  " << route.describe() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and the test report into ./results/.
+# Usage: scripts/run_all.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+OUT=results
+mkdir -p "$OUT"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
+
+echo "== benches =="
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "-- $name"
+  "$b" 2>&1 | tee "$OUT/$name.txt"
+done
+
+echo "results written to $OUT/"

@@ -1,0 +1,145 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "topo/validate.hpp"
+
+namespace f2t::core {
+
+Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
+    : config_(config),
+      sim_(std::make_unique<sim::Simulator>(config.seed)),
+      network_(std::make_unique<net::Network>(*sim_)) {
+  network_->set_default_link_params(config_.link);
+  topo_ = builder(*network_);
+  topo::validate_topology_or_throw(topo_);
+
+  // Backup static routes (the paper's Table II configuration).
+  const bool want_backups =
+      config_.backup == BackupMode::kPaper ||
+      config_.backup == BackupMode::kEqualLength ||
+      (config_.backup == BackupMode::kAuto && topo_.f2);
+  if (want_backups) {
+    if (config_.backup == BackupMode::kEqualLength) {
+      topo::install_backup_routes_equal_length(topo_);
+    } else {
+      topo::install_backup_routes(topo_);
+    }
+  }
+
+  // Control plane: one OSPF instance per switch (ToRs redistribute their
+  // rack subnet), or one controller managing every switch.
+  if (config_.control_plane == ControlPlane::kOspf) {
+    for (net::L3Switch* sw : topo_.all_switches()) {
+      auto instance = std::make_unique<routing::Ospf>(*sw, config_.ospf);
+      if (const auto it = topo_.subnet_of_tor.find(sw);
+          it != topo_.subnet_of_tor.end()) {
+        instance->redistribute(it->second);
+      }
+      instance->attach();
+      ospf_by_switch_.emplace(sw, instance.get());
+      ospf_.push_back(std::move(instance));
+    }
+  } else if (config_.control_plane == ControlPlane::kCentral) {
+    controller_ = std::make_unique<routing::CentralController>(config_.central);
+    for (net::L3Switch* sw : topo_.all_switches()) {
+      std::vector<net::Prefix> prefixes;
+      if (const auto it = topo_.subnet_of_tor.find(sw);
+          it != topo_.subnet_of_tor.end()) {
+        prefixes.push_back(it->second);
+      }
+      controller_->manage(*sw, std::move(prefixes));
+    }
+  } else {
+    for (net::L3Switch* sw : topo_.all_switches()) {
+      auto instance =
+          std::make_unique<routing::PathVector>(*sw, config_.path_vector);
+      if (const auto it = topo_.subnet_of_tor.find(sw);
+          it != topo_.subnet_of_tor.end()) {
+        instance->redistribute(it->second);
+        // ToRs are non-transit (RFC 7938-style): no valley paths through
+        // a rack.
+        instance->set_transit(false);
+      }
+      instance->attach();
+      path_vector_by_switch_.emplace(sw, instance.get());
+      path_vector_.push_back(std::move(instance));
+    }
+  }
+
+  detection_ =
+      std::make_unique<routing::DetectionAgent>(*network_, config_.detection);
+  detection_->attach_all();
+
+  for (net::Host* host : topo_.hosts) {
+    auto stack = std::make_unique<transport::HostStack>(*host);
+    stack_by_host_.emplace(host, stack.get());
+    stacks_.push_back(std::move(stack));
+  }
+
+  injector_ = std::make_unique<failure::FailureInjector>(*network_);
+}
+
+void Testbed::converge() {
+  if (controller_ != nullptr) {
+    controller_->converge();
+  } else if (!path_vector_.empty()) {
+    routing::PathVector::warm_start_all(path_vector_);
+  } else {
+    routing::warm_start_all(ospf_);
+  }
+}
+
+routing::PathVector& Testbed::path_vector_of(const net::L3Switch& sw) {
+  const auto it = path_vector_by_switch_.find(&sw);
+  if (it == path_vector_by_switch_.end()) {
+    throw std::invalid_argument("Testbed: no path-vector instance for " +
+                                sw.name());
+  }
+  return *it->second;
+}
+
+routing::CentralController& Testbed::controller() {
+  if (controller_ == nullptr) {
+    throw std::logic_error("Testbed: not running the central control plane");
+  }
+  return *controller_;
+}
+
+transport::HostStack& Testbed::stack_of(const net::Host& host) {
+  const auto it = stack_by_host_.find(&host);
+  if (it == stack_by_host_.end()) {
+    throw std::invalid_argument("Testbed: unknown host " + host.name());
+  }
+  return *it->second;
+}
+
+routing::Ospf& Testbed::ospf_of(const net::L3Switch& sw) {
+  const auto it = ospf_by_switch_.find(&sw);
+  if (it == ospf_by_switch_.end()) {
+    throw std::invalid_argument("Testbed: unknown switch " + sw.name());
+  }
+  return *it->second;
+}
+
+std::vector<transport::HostStack*> Testbed::stacks() {
+  std::vector<transport::HostStack*> out;
+  out.reserve(stacks_.size());
+  for (const auto& stack : stacks_) out.push_back(stack.get());
+  return out;
+}
+
+routing::Ospf::Counters Testbed::total_ospf_counters() const {
+  routing::Ospf::Counters total;
+  for (const auto& instance : ospf_) {
+    const auto& c = instance->counters();
+    total.lsas_originated += c.lsas_originated;
+    total.lsas_accepted += c.lsas_accepted;
+    total.lsas_ignored += c.lsas_ignored;
+    total.spf_runs += c.spf_runs;
+    total.fib_installs += c.fib_installs;
+  }
+  return total;
+}
+
+}  // namespace f2t::core

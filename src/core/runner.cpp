@@ -1,0 +1,132 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+
+#include "topo/aspen.hpp"
+#include "topo/f2tree.hpp"
+#include "topo/leafspine.hpp"
+#include "topo/vl2.hpp"
+#include "transport/udp_app.hpp"
+
+namespace f2t::core {
+
+Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
+                                      int ring_width, int aspen_f) {
+  if (name == "fat") {
+    return [ports](net::Network& n) {
+      return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = ports});
+    };
+  }
+  if (name == "f2") {
+    return [ports, ring_width](net::Network& n) {
+      return topo::build_f2tree(n, ports, ring_width);
+    };
+  }
+  if (name == "f2scaled") {
+    return [ports](net::Network& n) {
+      return topo::build_f2tree_scaled(n,
+                                       topo::F2TreeScaledOptions{ports, -1});
+    };
+  }
+  if (name == "leafspine" || name == "leafspine-f2") {
+    const bool f2 = name == "leafspine-f2";
+    return [ports, f2](net::Network& n) {
+      return topo::build_leaf_spine(
+          n, topo::LeafSpineOptions{.ports = ports, .f2_rewire = f2});
+    };
+  }
+  if (name == "vl2" || name == "vl2-f2") {
+    const bool f2 = name == "vl2-f2";
+    return [ports, f2](net::Network& n) {
+      return topo::build_vl2(
+          n, topo::Vl2Options{.ports = ports, .f2_rewire = f2});
+    };
+  }
+  if (name == "aspen") {
+    return [ports, aspen_f](net::Network& n) {
+      return topo::build_aspen_tree(
+          n, topo::AspenOptions{.ports = ports, .fault_tolerance = aspen_f,
+                                .hosts_per_tor = -1});
+    };
+  }
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
+                         failure::Condition condition,
+                         const RunKnobs& knobs) {
+  UdpRun out;
+  Testbed bed(builder, knobs.config);
+  bed.converge();
+  const auto plan = failure::build_condition(bed.topo(), condition,
+                                             net::Protocol::kUdp);
+  if (!plan) return out;
+  out.scenario = plan->description;
+
+  auto& src_stack = bed.stack_of(*plan->src);
+  auto& dst_stack = bed.stack_of(*plan->dst);
+  transport::UdpSink sink(dst_stack, plan->dport);
+  transport::UdpCbrSender::Options so;
+  so.sport = plan->sport;
+  so.dport = plan->dport;
+  so.stop = knobs.horizon - sim::millis(200);
+  transport::UdpCbrSender sender(src_stack, plan->dst->addr(), so);
+  sender.start();
+
+  for (net::Link* link : plan->fail_links) {
+    bed.injector().fail_at(*link, knobs.fail_at);
+  }
+  bed.sim().run(knobs.horizon);
+
+  out.packets_sent = sender.packets_sent();
+  out.packets_lost =
+      stats::packets_lost(sender.packets_sent(), sink.packets_received());
+  std::vector<sim::Time> arrivals;
+  arrivals.reserve(sink.arrivals().size());
+  for (const auto& a : sink.arrivals()) {
+    arrivals.push_back(a.at);
+    out.delay_series.add(a.at, sim::to_micros(a.delay));
+    out.throughput.add(a.at, so.payload_bytes + net::kUdpHeaderBytes);
+  }
+  const auto loss = stats::find_connectivity_loss(arrivals, knobs.fail_at);
+  out.ok = true;
+  if (loss) out.connectivity_loss = loss->duration();
+  return out;
+}
+
+TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
+                         failure::Condition condition,
+                         const RunKnobs& knobs) {
+  TcpRun out;
+  Testbed bed(builder, knobs.config);
+  bed.converge();
+  const auto plan = failure::build_condition(bed.topo(), condition,
+                                             net::Protocol::kTcp);
+  if (!plan) return out;
+
+  auto& src_stack = bed.stack_of(*plan->src);
+  auto& dst_stack = bed.stack_of(*plan->dst);
+  transport::TcpConnection conn(src_stack, dst_stack, plan->sport,
+                                plan->dport, knobs.tcp);
+  std::uint64_t last = 0;
+  conn.b().set_on_delivered([&](std::uint64_t d) {
+    out.throughput.add(bed.sim().now(), d - last);
+    last = d;
+  });
+  transport::PacedTcpWriter::Options wo;
+  wo.stop = knobs.horizon - sim::millis(500);
+  transport::PacedTcpWriter writer(conn.a(), bed.sim(), wo);
+  writer.start();
+
+  for (net::Link* link : plan->fail_links) {
+    bed.injector().fail_at(*link, knobs.fail_at);
+  }
+  bed.sim().run(knobs.horizon);
+  out.ok = true;
+  out.rto_fires = conn.a().stats().rto_fires;
+  out.collapse = stats::throughput_collapse_duration(
+      out.throughput, sim::millis(100), knobs.fail_at, wo.stop);
+  return out;
+}
+
+}  // namespace f2t::core

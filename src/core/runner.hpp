@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "failure/scenarios.hpp"
+#include "stats/flow_metrics.hpp"
+#include "stats/timeseries.hpp"
+#include "transport/tcp.hpp"
+
+namespace f2t::core {
+
+/// Canonical experiment drivers shared by the bench harnesses, the CLI
+/// tool and the tests: build a Testbed, converge, attach a probe flow,
+/// inject a Table IV failure condition, and collect the paper's metrics.
+
+/// Builders for every topology in the family, by name:
+/// fat | f2 | f2scaled | leafspine | leafspine-f2 | vl2 | vl2-f2 | aspen.
+/// `ring_width` applies to f2; `aspen_f` to aspen. Throws on unknown names.
+Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
+                                      int ring_width = 2, int aspen_f = 1);
+
+/// Knobs for one probe-flow failure experiment.
+struct RunKnobs {
+  sim::Time fail_at = sim::millis(380);
+  sim::Time horizon = sim::seconds(3);
+  TestbedConfig config;
+  transport::TcpConfig tcp;
+};
+
+/// CBR UDP probe through a failure condition (Fig 2(a), Fig 4, Fig 5,
+/// Table III columns 1-2).
+struct UdpRun {
+  bool ok = false;
+  sim::Time connectivity_loss = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::string scenario;
+  stats::TimeSeries delay_series;  ///< per-packet one-way delay (us)
+  stats::ThroughputMeter throughput{sim::millis(20)};
+};
+
+UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
+                         failure::Condition condition,
+                         const RunKnobs& knobs = {});
+
+/// Paced TCP probe through a failure condition (Fig 2(b), Fig 4 bottom,
+/// Table III column 3).
+struct TcpRun {
+  bool ok = false;
+  sim::Time collapse = 0;
+  std::uint64_t rto_fires = 0;
+  stats::ThroughputMeter throughput{sim::millis(20)};
+};
+
+TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
+                         failure::Condition condition,
+                         const RunKnobs& knobs = {});
+
+}  // namespace f2t::core

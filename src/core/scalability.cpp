@@ -1,0 +1,26 @@
+#include "core/scalability.hpp"
+
+#include <stdexcept>
+
+namespace f2t::core {
+
+std::vector<ScalabilityRow> table1(int n, int aspen_f) {
+  if (n < 4 || n % 2 != 0) {
+    throw std::invalid_argument("table1: n must be even and >= 4");
+  }
+  if (aspen_f < 1) {
+    throw std::invalid_argument("table1: aspen_f must be >= 1");
+  }
+  using S = Scalability;
+  return {
+      {"Fat tree", S::fat_tree_switches(n), S::fat_tree_nodes(n), "n/a",
+       "n/a"},
+      {"VL2", S::vl2_switches(n), S::vl2_nodes(n), "n/a", "n/a"},
+      {"F2Tree", S::f2tree_switches(n), S::f2tree_nodes(n), "no", "no"},
+      {"Aspen tree <f,0>", S::aspen_switches(n, aspen_f),
+       S::aspen_nodes(n, aspen_f), "yes", "no"},
+      {"F10", S::f10_switches(n), S::f10_nodes(n), "yes", "yes"},
+  };
+}
+
+}  // namespace f2t::core

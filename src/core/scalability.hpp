@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace f2t::core {
+
+/// Closed forms from Table I of the paper: switches consumed and nodes
+/// (hosts) supported by 3-layer DCNs built from homogeneous N-port
+/// switches. The F²Tree forms are verified against constructed topologies
+/// by the test suite.
+struct Scalability {
+  static double fat_tree_switches(int n) { return 1.25 * n * n; }
+  static double fat_tree_nodes(int n) { return n * n * n / 4.0; }
+
+  static double vl2_switches(int n) { return 2.5 * n; }
+  static double vl2_nodes(int n) { return n * n / 2.0; }
+
+  static double f2tree_switches(int n) {
+    return 1.25 * n * n - 3.5 * n + 2.0;
+  }
+  static double f2tree_nodes(int n) {
+    return n * n * n / 4.0 - static_cast<double>(n) * n + n;
+  }
+
+  /// Aspen tree <f, 0>: fault-tolerance f (>= 1) between aggregation and
+  /// core layers.
+  static double aspen_switches(int n, int f) {
+    return 1.25 * n * n / (f + 1);
+  }
+  static double aspen_nodes(int n, int f) {
+    return n * n * n / (4.0 * (f + 1));
+  }
+
+  static double f10_switches(int n) { return 1.25 * n * n; }
+  static double f10_nodes(int n) { return n * n * n / 4.0; }
+
+  /// Fraction of fat-tree nodes F²Tree gives up at port count n
+  /// (the paper: ~2% at n = 128).
+  static double f2tree_node_cost_fraction(int n) {
+    return 1.0 - f2tree_nodes(n) / fat_tree_nodes(n);
+  }
+};
+
+/// One row of Table I.
+struct ScalabilityRow {
+  std::string name;
+  double switches = 0;
+  double nodes = 0;
+  const char* modifies_routing = "";
+  const char* modifies_data_plane = "";
+};
+
+/// The full Table I for port count n (Aspen tree at fault tolerance f).
+std::vector<ScalabilityRow> table1(int n, int aspen_f = 1);
+
+}  // namespace f2t::core

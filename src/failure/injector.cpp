@@ -1,0 +1,64 @@
+#include "failure/injector.hpp"
+
+#include "sim/logging.hpp"
+
+namespace f2t::failure {
+
+void FailureInjector::apply(net::Link& link, bool up) {
+  history_.push_back(Event{link.id(), network_.simulator().now(), up});
+  F2T_LOG(network_.simulator().logger(), sim::LogLevel::kInfo,
+          network_.simulator().now(),
+          "link " << link.end_a().node->name() << "<->"
+                  << link.end_b().node->name() << (up ? " up" : " DOWN"));
+  link.set_up(up);
+}
+
+void FailureInjector::fail_at(net::Link& link, sim::Time when) {
+  network_.simulator().at(when, [this, &link] { apply(link, false); });
+}
+
+void FailureInjector::recover_at(net::Link& link, sim::Time when) {
+  network_.simulator().at(when, [this, &link] { apply(link, true); });
+}
+
+void FailureInjector::fail_for(net::Link& link, sim::Time when,
+                               sim::Time duration) {
+  fail_at(link, when);
+  recover_at(link, when + duration);
+}
+
+void FailureInjector::fail_direction_at(net::Link& link, const net::Node& from,
+                                        sim::Time when) {
+  const auto direction = link.direction_from(from);
+  network_.simulator().at(when, [this, &link, direction] {
+    history_.push_back(Event{link.id(), network_.simulator().now(), false});
+    link.set_direction_up(direction, false);
+  });
+}
+
+void FailureInjector::recover_direction_at(net::Link& link,
+                                           const net::Node& from,
+                                           sim::Time when) {
+  const auto direction = link.direction_from(from);
+  network_.simulator().at(when, [this, &link, direction] {
+    history_.push_back(Event{link.id(), network_.simulator().now(), true});
+    link.set_direction_up(direction, true);
+  });
+}
+
+void FailureInjector::fail_switch_at(net::L3Switch& sw, sim::Time when) {
+  for (const auto& port : sw.ports()) {
+    if (port.link != nullptr) fail_at(*port.link, when);
+  }
+}
+
+int FailureInjector::active_failures() const {
+  int n = 0;
+  for (const auto* link :
+       const_cast<FailureInjector*>(this)->network_.links()) {
+    if (!link->is_up()) ++n;
+  }
+  return n;
+}
+
+}  // namespace f2t::failure

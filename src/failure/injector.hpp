@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace f2t::failure {
+
+/// Schedules link failures and recoveries against the simulation clock and
+/// keeps an auditable history. All failures are bidirectional (the only
+/// kind the paper evaluates; it leaves unidirectional failures to future
+/// work). A whole-switch failure is modelled as the failure of all its
+/// links, per the paper's footnote 1.
+class FailureInjector {
+ public:
+  struct Event {
+    net::LinkId link = net::kInvalidLink;
+    sim::Time at = 0;
+    bool up = false;
+  };
+
+  explicit FailureInjector(net::Network& network) : network_(network) {}
+
+  /// Takes the link down at `when`.
+  void fail_at(net::Link& link, sim::Time when);
+
+  /// Brings the link back up at `when`.
+  void recover_at(net::Link& link, sim::Time when);
+
+  /// Down at `when`, back up at `when + duration`.
+  void fail_for(net::Link& link, sim::Time when, sim::Time duration);
+
+  /// Unidirectional failure (the paper's future-work case): only the
+  /// direction originating at `from` is cut.
+  void fail_direction_at(net::Link& link, const net::Node& from,
+                         sim::Time when);
+  void recover_direction_at(net::Link& link, const net::Node& from,
+                            sim::Time when);
+
+  /// Fails every link of a switch (switch crash) at `when`.
+  void fail_switch_at(net::L3Switch& sw, sim::Time when);
+
+  /// Links currently physically down.
+  int active_failures() const;
+
+  const std::vector<Event>& history() const { return history_; }
+
+  net::Network& network() { return network_; }
+
+ private:
+  void apply(net::Link& link, bool up);
+
+  net::Network& network_;
+  std::vector<Event> history_;
+};
+
+}  // namespace f2t::failure

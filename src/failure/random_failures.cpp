@@ -1,0 +1,63 @@
+#include "failure/random_failures.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::failure {
+
+RandomFailureGenerator::RandomFailureGenerator(
+    FailureInjector& injector, sim::Random rng,
+    const RandomFailureOptions& options)
+    : injector_(injector), rng_(std::move(rng)), options_(options) {
+  for (net::Link* link : injector_.network().links()) {
+    const bool a_switch =
+        dynamic_cast<net::L3Switch*>(link->end_a().node) != nullptr;
+    const bool b_switch =
+        dynamic_cast<net::L3Switch*>(link->end_b().node) != nullptr;
+    if (a_switch && b_switch) candidates_.push_back(link);
+  }
+  if (candidates_.empty()) {
+    throw std::invalid_argument("random failures: no switch-switch links");
+  }
+}
+
+void RandomFailureGenerator::start() {
+  injector_.network().simulator().at(options_.start,
+                                     [this] { schedule_next(); });
+}
+
+void RandomFailureGenerator::schedule_next() {
+  auto& sim = injector_.network().simulator();
+  if (sim.now() >= options_.stop) return;
+  maybe_fail();
+  const double gap_s = rng_.lognormal_median(options_.interarrival_median_s,
+                                             options_.interarrival_sigma);
+  sim.after(std::max<sim::Time>(sim::from_seconds(gap_s), sim::millis(1)),
+            [this] { schedule_next(); });
+}
+
+void RandomFailureGenerator::maybe_fail() {
+  auto& sim = injector_.network().simulator();
+  if (injector_.active_failures() >= options_.max_concurrent) {
+    ++suppressed_;  // concurrency cap reached: skip this failure slot
+    return;
+  }
+  // Pick an up link uniformly at random (bounded retries for determinism).
+  net::Link* victim = nullptr;
+  for (int attempt = 0; attempt < 64 && victim == nullptr; ++attempt) {
+    net::Link* candidate = candidates_[rng_.index(candidates_.size())];
+    if (candidate->is_up()) victim = candidate;
+  }
+  if (victim == nullptr) {
+    ++suppressed_;
+    return;
+  }
+  const double duration_s = rng_.lognormal_median(options_.duration_median_s,
+                                                  options_.duration_sigma);
+  injector_.fail_for(*victim, sim.now(),
+                     std::max<sim::Time>(sim::from_seconds(duration_s),
+                                         sim::millis(100)));
+  ++injected_;
+}
+
+}  // namespace f2t::failure

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "failure/injector.hpp"
+#include "sim/random.hpp"
+
+namespace f2t::failure {
+
+/// Random failure process for the Fig 6 experiment: inter-failure gaps and
+/// failure durations are log-normal (the shape measured for production
+/// DCNs in Gill et al. SIGCOMM'11, which the paper cites), failed links
+/// are picked uniformly among switch-to-switch links, and at most
+/// `max_concurrent` failures are active at once (the paper's "1 CF" / "5
+/// CF" conditions).
+struct RandomFailureOptions {
+  double interarrival_median_s = 12.0;
+  double interarrival_sigma = 0.8;
+  double duration_median_s = 8.0;
+  double duration_sigma = 0.8;
+  int max_concurrent = 1;
+  sim::Time start = sim::seconds(5);
+  sim::Time stop = sim::seconds(600);
+};
+
+class RandomFailureGenerator {
+ public:
+  RandomFailureGenerator(FailureInjector& injector, sim::Random rng,
+                         const RandomFailureOptions& options);
+
+  void start();
+
+  int failures_injected() const { return injected_; }
+  int failures_suppressed() const { return suppressed_; }
+
+ private:
+  void schedule_next();
+  void maybe_fail();
+
+  FailureInjector& injector_;
+  sim::Random rng_;
+  RandomFailureOptions options_;
+  std::vector<net::Link*> candidates_;
+  int injected_ = 0;
+  int suppressed_ = 0;
+};
+
+}  // namespace f2t::failure

@@ -1,0 +1,278 @@
+#include "failure/scenarios.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "routing/ecmp.hpp"
+
+namespace f2t::failure {
+
+TracedPath trace_route_detailed(const net::Host& src, const net::Host& dst,
+                                const net::Packet& probe, int max_hops) {
+  TracedPath path;
+  if (src.port_count() == 0) return {};
+  path.nodes.push_back(&src);
+  path.links.push_back(src.port(0).link);
+  const net::Node* current = src.port(0).link->peer_of(src).node;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    path.nodes.push_back(current);
+    if (current == &dst) return path;
+    const auto* sw = dynamic_cast<const net::L3Switch*>(current);
+    if (sw == nullptr) return {};  // ended on a wrong host
+    const auto next_hops = sw->fib().lookup(
+        probe.dst, [sw](net::PortId p) { return sw->port_detected_up(p); });
+    if (next_hops.empty()) return {};
+    const std::size_t pick = routing::ecmp_select(
+        probe, static_cast<std::uint64_t>(sw->id()), next_hops.size());
+    net::Link* link = sw->port(next_hops[pick].port).link;
+    path.links.push_back(link);
+    current = link->peer_of(*sw).node;
+  }
+  return {};  // loop / too long
+}
+
+std::vector<const net::Node*> trace_route(const net::Host& src,
+                                          const net::Host& dst,
+                                          const net::Packet& probe,
+                                          int max_hops) {
+  return trace_route_detailed(src, dst, probe, max_hops).nodes;
+}
+
+const char* condition_name(Condition c) {
+  switch (c) {
+    case Condition::kC1: return "C1";
+    case Condition::kC2: return "C2";
+    case Condition::kC3: return "C3";
+    case Condition::kC4: return "C4";
+    case Condition::kC5: return "C5";
+    case Condition::kC6: return "C6";
+    case Condition::kC7: return "C7";
+    case Condition::kC8: return "C8";
+  }
+  return "?";
+}
+
+bool condition_requires_f2(Condition c) {
+  return c == Condition::kC6 || c == Condition::kC7 || c == Condition::kC8;
+}
+
+namespace {
+
+net::Link* ring_link(const topo::BuiltTopology& topo, net::L3Switch* sw,
+                     bool right) {
+  const auto it = topo.rings.find(sw);
+  if (it == topo.rings.end()) return nullptr;
+  const auto& ports = right ? it->second.right : it->second.left;
+  if (ports.empty()) return nullptr;
+  return sw->port(ports.front()).link;
+}
+
+std::string link_name(const net::Link* link) {
+  return link->end_a().node->name() + "<->" + link->end_b().node->name();
+}
+
+/// Attempts to construct `condition` for one concrete 5-tuple; returns
+/// nullopt when the traced path lacks the structural prerequisites.
+std::optional<ScenarioPlan> try_build(const topo::BuiltTopology& topo,
+                                      Condition condition,
+                                      net::Protocol proto,
+                                      std::uint16_t sport,
+                                      std::uint16_t dport) {
+  net::Network& network = *topo.network;
+  const net::Host* src = topo.hosts.front();
+  const net::Host* dst = topo.hosts.back();
+
+  net::Packet probe;
+  probe.src = src->addr();
+  probe.dst = dst->addr();
+  probe.proto = proto;
+  probe.sport = sport;
+  probe.dport = dport;
+
+  const auto traced = trace_route_detailed(*src, *dst, probe);
+  const auto& path = traced.nodes;
+  if (path.size() < 5) return std::nullopt;  // expect host,tor,...,tor,host
+
+  // Identify the downward aggregation switch Sx and the destination ToR.
+  auto* dst_tor = const_cast<net::L3Switch*>(
+      dynamic_cast<const net::L3Switch*>(path[path.size() - 2]));
+  auto* sx = const_cast<net::L3Switch*>(
+      dynamic_cast<const net::L3Switch*>(path[path.size() - 3]));
+  if (dst_tor == nullptr || sx == nullptr) return std::nullopt;
+  const int pod_index = topo.pod_of_agg(sx);
+  if (pod_index < 0) return std::nullopt;
+  const auto& pod = topo.pods[static_cast<std::size_t>(pod_index)];
+  const int a = static_cast<int>(std::distance(
+      pod.aggs.begin(), std::find(pod.aggs.begin(), pod.aggs.end(), sx)));
+  const int width = static_cast<int>(pod.aggs.size());
+  net::L3Switch* right = pod.aggs[static_cast<std::size_t>((a + 1) % width)];
+  net::L3Switch* left =
+      pod.aggs[static_cast<std::size_t>((a - 1 + width) % width)];
+
+  // The core feeding Sx (present whenever src and dst pods differ).
+  auto* core = path.size() >= 6
+                   ? const_cast<net::L3Switch*>(
+                         dynamic_cast<const net::L3Switch*>(
+                             path[path.size() - 4]))
+                   : nullptr;
+  const bool core_on_path =
+      core != nullptr &&
+      std::find(topo.cores.begin(), topo.cores.end(), core) !=
+          topo.cores.end();
+
+  // The exact on-path links (parallel-link aware: the flow's hash picks a
+  // specific member, and the scenario must fail that one).
+  net::Link* sx_down = traced.links[traced.links.size() - 2];
+  net::Link* core_down =
+      core_on_path ? traced.links[traced.links.size() - 3] : nullptr;
+  if (sx_down == nullptr) return std::nullopt;
+
+  ScenarioPlan plan;
+  plan.condition = condition;
+  plan.src = src;
+  plan.dst = dst;
+  plan.sport = sport;
+  plan.dport = dport;
+  plan.sx = sx;
+  plan.dst_tor = dst_tor;
+
+  auto require = [](bool ok) { return ok; };
+
+  switch (condition) {
+    case Condition::kC1: {
+      if (topo.f2 && !require(network.find_link(*right, *dst_tor) != nullptr &&
+                              ring_link(topo, sx, true) != nullptr)) {
+        return std::nullopt;
+      }
+      plan.fail_links = {sx_down};
+      break;
+    }
+    case Condition::kC2: {
+      if (!core_on_path || core_down == nullptr) return std::nullopt;
+      if (topo.f2) {
+        net::Link* core_ring = ring_link(topo, core, true);
+        if (core_ring == nullptr) return std::nullopt;
+        // The core's right across neighbour must own a downlink into the
+        // destination pod (to Sx, its same-position agg).
+        net::L3Switch* right_core = dynamic_cast<net::L3Switch*>(
+            &network.node(core->port(topo.rings.at(core).right.front())
+                              .peer_node));
+        if (right_core == nullptr ||
+            network.find_link(*right_core, *sx) == nullptr) {
+          return std::nullopt;
+        }
+      }
+      plan.fail_links = {core_down};
+      break;
+    }
+    case Condition::kC3: {
+      if (!core_on_path || core_down == nullptr) return std::nullopt;
+      if (topo.f2) {
+        // Both layers must satisfy condition 1 independently (§II-C:
+        // "the combination of failures above different layers will not
+        // affect the working scheme"): Sx's right across neighbour needs
+        // the downlink to the ToR, and the core's right across neighbour
+        // needs a downlink into the destination pod.
+        if (!require(network.find_link(*right, *dst_tor) != nullptr &&
+                     ring_link(topo, sx, true) != nullptr)) {
+          return std::nullopt;
+        }
+        net::Link* core_ring = ring_link(topo, core, true);
+        if (core_ring == nullptr) return std::nullopt;
+        net::L3Switch* right_core = dynamic_cast<net::L3Switch*>(
+            &network.node(core->port(topo.rings.at(core).right.front())
+                              .peer_node));
+        if (right_core == nullptr ||
+            network.find_link(*right_core, *sx) == nullptr) {
+          return std::nullopt;
+        }
+      }
+      plan.fail_links = {sx_down, core_down};
+      break;
+    }
+    case Condition::kC4: {
+      if (width < 3) return std::nullopt;  // needs a third relay switch
+      net::Link* right_down = network.find_link(*right, *dst_tor);
+      if (right_down == nullptr) return std::nullopt;
+      if (topo.f2) {
+        net::L3Switch* right2 =
+            pod.aggs[static_cast<std::size_t>((a + 2) % width)];
+        if (network.find_link(*right2, *dst_tor) == nullptr) {
+          return std::nullopt;
+        }
+      }
+      plan.fail_links = {sx_down, right_down};
+      break;
+    }
+    case Condition::kC5: {
+      if (network.find_link(*left, *dst_tor) == nullptr) return std::nullopt;
+      for (net::L3Switch* agg : pod.aggs) {
+        if (agg == left) continue;
+        if (net::Link* link = network.find_link(*agg, *dst_tor)) {
+          plan.fail_links.push_back(link);
+        }
+      }
+      if (plan.fail_links.empty()) return std::nullopt;
+      break;
+    }
+    case Condition::kC6: {
+      net::Link* across = ring_link(topo, sx, true);
+      if (across == nullptr) return std::nullopt;
+      if (network.find_link(*left, *dst_tor) == nullptr ||
+          ring_link(topo, sx, false) == nullptr) {
+        return std::nullopt;
+      }
+      plan.fail_links = {sx_down, across};
+      break;
+    }
+    case Condition::kC7: {
+      net::Link* right_down = network.find_link(*right, *dst_tor);
+      net::Link* right_across = ring_link(topo, right, true);
+      if (right_down == nullptr || right_across == nullptr) {
+        return std::nullopt;
+      }
+      plan.fail_links = {sx_down, right_down, right_across};
+      break;
+    }
+    case Condition::kC8: {
+      net::Link* right_across = ring_link(topo, sx, true);
+      net::Link* left_across = ring_link(topo, sx, false);
+      if (right_across == nullptr || left_across == nullptr) {
+        return std::nullopt;
+      }
+      plan.fail_links = {sx_down, right_across, left_across};
+      break;
+    }
+  }
+
+  std::ostringstream os;
+  os << condition_name(condition) << ": flow " << src->name() << "->"
+     << dst->name() << " sport=" << sport << " Sx=" << sx->name()
+     << " failing {";
+  for (std::size_t i = 0; i < plan.fail_links.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << link_name(plan.fail_links[i]);
+  }
+  os << "}";
+  plan.description = os.str();
+  return plan;
+}
+
+}  // namespace
+
+std::optional<ScenarioPlan> build_condition(const topo::BuiltTopology& topo,
+                                            Condition condition,
+                                            net::Protocol proto,
+                                            std::uint16_t base_sport,
+                                            int search_budget) {
+  if (condition_requires_f2(condition) && !topo.f2) return std::nullopt;
+  for (int i = 0; i < search_budget; ++i) {
+    const auto sport = static_cast<std::uint16_t>(base_sport + i);
+    if (auto plan = try_build(topo, condition, proto, sport, 9000)) {
+      return plan;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace f2t::failure

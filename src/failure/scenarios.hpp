@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace f2t::failure {
+
+/// Deterministic data-plane walk of the path a 5-tuple would take right
+/// now: repeated FIB lookup + ECMP selection from the source host's ToR.
+/// Returns every node visited, source and destination hosts included, or
+/// an empty vector when forwarding would fail. Requires converged FIBs.
+std::vector<const net::Node*> trace_route(const net::Host& src,
+                                          const net::Host& dst,
+                                          const net::Packet& probe,
+                                          int max_hops = 64);
+
+/// Like trace_route, but also reports the exact links traversed —
+/// required when parallel links exist (F² across-link pairs, Aspen's
+/// duplicated core links) and a scenario must fail the member the flow
+/// actually hashes onto.
+struct TracedPath {
+  std::vector<const net::Node*> nodes;  ///< src host ... dst host
+  std::vector<net::Link*> links;        ///< nodes.size() - 1 entries
+
+  bool empty() const { return nodes.empty(); }
+};
+
+TracedPath trace_route_detailed(const net::Host& src, const net::Host& dst,
+                                const net::Packet& probe, int max_hops = 64);
+
+/// The paper's failure conditions (Table IV), defined relative to a
+/// reference flow's downward forwarding path. C8 is the parenthetical
+/// case of §II-C ("the failures of both two across links of S8, which
+/// F²Tree obviously degrades to fat tree"): Sx's downward link plus both
+/// of its across links.
+enum class Condition { kC1, kC2, kC3, kC4, kC5, kC6, kC7, kC8 };
+
+const char* condition_name(Condition c);
+/// True for the conditions that only exist in F² topologies (they fail
+/// across links).
+bool condition_requires_f2(Condition c);
+
+/// A constructed failure scenario: the reference flow, the links to fail,
+/// and the actors for diagnostics.
+struct ScenarioPlan {
+  Condition condition = Condition::kC1;
+  const net::Host* src = nullptr;
+  const net::Host* dst = nullptr;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 9000;
+  std::vector<net::Link*> fail_links;
+  net::L3Switch* sx = nullptr;       ///< downward agg on the path
+  net::L3Switch* dst_tor = nullptr;  ///< destination ToR
+  std::string description;
+};
+
+/// Builds a Table IV condition against a *converged* topology. Picks the
+/// paper's leftmost-to-rightmost host flow and searches source ports until
+/// the ECMP path satisfies the condition's structural prerequisites (e.g.
+/// the right across neighbour still owning a downlink to the destination
+/// ToR). Returns nullopt only when no port in the search budget works.
+/// `proto` must match the workload that will be measured — ECMP hashes
+/// the protocol, so a plan built for UDP does not pin a TCP flow's path.
+std::optional<ScenarioPlan> build_condition(
+    const topo::BuiltTopology& topo, Condition condition,
+    net::Protocol proto = net::Protocol::kUdp,
+    std::uint16_t base_sport = 20000, int search_budget = 512);
+
+}  // namespace f2t::failure

@@ -1,0 +1,23 @@
+#include "net/host.hpp"
+
+#include <stdexcept>
+
+namespace f2t::net {
+
+void Host::receive(PortId /*p*/, Packet packet) {
+  if (packet.dst != addr_) {
+    ++misdelivered_;
+    return;
+  }
+  ++delivered_;
+  if (handler_) handler_(std::move(packet));
+}
+
+void Host::send_up(Packet packet) {
+  if (port_count() == 0) {
+    throw std::logic_error("Host::send_up: " + name() + " has no uplink");
+  }
+  send(0, std::move(packet));
+}
+
+}  // namespace f2t::net

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+
+#include "net/node.hpp"
+
+namespace f2t::net {
+
+/// End host: one address, one uplink to its ToR, and a packet handler
+/// installed by the transport layer. Hosts do no routing — everything
+/// non-local goes out of port 0, like a default-gateway Linux box.
+class Host : public Node {
+ public:
+  using PacketHandler = std::function<void(Packet)>;
+
+  Host(sim::Simulator& simulator, NodeId id, std::string name, Ipv4Addr addr)
+      : Node(simulator, id, std::move(name)), addr_(addr) {}
+
+  Ipv4Addr addr() const { return addr_; }
+
+  void set_packet_handler(PacketHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  void receive(PortId p, Packet packet) override;
+
+  /// Sends an application packet via the uplink (port 0).
+  void send_up(Packet packet);
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t misdelivered() const { return misdelivered_; }
+
+ private:
+  Ipv4Addr addr_;
+  PacketHandler handler_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t misdelivered_ = 0;
+};
+
+}  // namespace f2t::net

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace f2t::net {
+
+/// Index of a node within its Network. Stable for the network's lifetime.
+using NodeId = std::uint32_t;
+
+/// Index of a port within its node. Ports are created when links attach.
+using PortId = std::uint16_t;
+
+/// Index of a link within its Network.
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr PortId kInvalidPort = ~PortId{0};
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+
+}  // namespace f2t::net

@@ -1,0 +1,98 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace f2t::net {
+
+namespace {
+
+std::uint32_t parse_octet(std::string_view text, std::size_t& pos) {
+  std::uint32_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) {
+    throw std::invalid_argument("Ipv4Addr: bad octet in '" +
+                                std::string(text) + "'");
+  }
+  pos = static_cast<std::size_t>(ptr - text.data());
+  return value;
+}
+
+}  // namespace
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("Ipv4Addr: expected '.' in '" +
+                                    std::string(text) + "'");
+      }
+      ++pos;
+    }
+    value = (value << 8) | parse_octet(text, pos);
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("Ipv4Addr: trailing characters in '" +
+                                std::string(text) + "'");
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+Prefix::Prefix(Ipv4Addr addr, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Prefix: length out of range");
+  }
+  const std::uint32_t m =
+      length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  address_ = Ipv4Addr(addr.value() & m);
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("Prefix: missing '/' in '" +
+                                std::string(text) + "'");
+  }
+  const Ipv4Addr addr = Ipv4Addr::parse(text.substr(0, slash));
+  int length = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(len_text.data(),
+                                   len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) {
+    throw std::invalid_argument("Prefix: bad length in '" + std::string(text) +
+                                "'");
+  }
+  return Prefix(addr, length);
+}
+
+std::uint32_t Prefix::mask() const {
+  return length_ == 0 ? 0u : (~std::uint32_t{0} << (32 - length_));
+}
+
+bool Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask()) == address_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.address_);
+}
+
+std::string Prefix::str() const {
+  return address_.str() + "/" + std::to_string(length_);
+}
+
+}  // namespace f2t::net

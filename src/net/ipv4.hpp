@@ -1,0 +1,85 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace f2t::net {
+
+/// IPv4 address as a host-order 32-bit value.
+///
+/// The simulator routes on real dotted-quad addresses because the paper's
+/// mechanism *is* an addressing trick: backup static routes with shorter
+/// prefixes (/16 and /15) deliberately losing to the protocol-computed /24s
+/// in longest-prefix match until the /24s' next hops die.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static Ipv4Addr parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix. Always stored normalized (host bits zeroed), so two
+/// Prefix values compare equal iff they denote the same route key.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Addr addr, int length);
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on malformed input.
+  static Prefix parse(std::string_view text);
+
+  /// The /32 host prefix for an address.
+  static Prefix host(Ipv4Addr addr) { return Prefix(addr, 32); }
+
+  Ipv4Addr address() const { return address_; }
+  int length() const { return length_; }
+  std::uint32_t mask() const;
+
+  bool contains(Ipv4Addr addr) const;
+  bool contains(const Prefix& other) const;
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Addr address_;
+  int length_ = 0;
+};
+
+}  // namespace f2t::net
+
+template <>
+struct std::hash<f2t::net::Ipv4Addr> {
+  std::size_t operator()(const f2t::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<f2t::net::Prefix> {
+  std::size_t operator()(const f2t::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 8) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

@@ -1,0 +1,68 @@
+#include "net/l3switch.hpp"
+
+#include "routing/ecmp.hpp"
+#include "sim/logging.hpp"
+
+namespace f2t::net {
+
+L3Switch::L3Switch(sim::Simulator& simulator, NodeId id, std::string name,
+                   Ipv4Addr router_id)
+    : Node(simulator, id, std::move(name)), router_id_(router_id) {}
+
+void L3Switch::ensure_port_state(PortId p) const {
+  if (detected_up_.size() <= p) detected_up_.resize(p + 1u, true);
+}
+
+bool L3Switch::port_detected_up(PortId p) const {
+  ensure_port_state(p);
+  return detected_up_[p];
+}
+
+void L3Switch::set_port_detected(PortId p, bool up) {
+  ensure_port_state(p);
+  if (detected_up_[p] == up) return;
+  detected_up_[p] = up;
+  F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
+          name() << ": port " << p << (up ? " detected up" : " detected down"));
+  for (const auto& handler : port_state_handlers_) handler(p, up);
+}
+
+void L3Switch::receive(PortId p, Packet packet) {
+  if (packet.proto == Protocol::kRouting) {
+    ++counters_.control_in;
+    if (control_handler_) control_handler_(p, packet);
+    return;
+  }
+  if (packet.dst == router_id_) {
+    ++counters_.local_delivered;
+    return;
+  }
+  forward(std::move(packet), p);
+}
+
+bool L3Switch::forward(Packet packet, PortId ingress) {
+  if (packet.ttl == 0 || --packet.ttl == 0) {
+    ++counters_.dropped_ttl;
+    F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
+            name() << ": TTL expired for " << packet.describe());
+    return false;
+  }
+  const auto next_hops = fib_.lookup(
+      packet.dst, [this](PortId p) { return port_detected_up(p); });
+  if (next_hops.empty()) {
+    ++counters_.dropped_no_route;
+    F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
+            name() << ": no route for " << packet.dst.str());
+    return false;
+  }
+  const std::size_t pick =
+      routing::ecmp_select(packet, static_cast<std::uint64_t>(id()),
+                           next_hops.size());
+  const PortId egress = next_hops[pick].port;
+  ++counters_.forwarded;
+  if (forward_tap_) forward_tap_(packet, ingress, egress);
+  send(egress, std::move(packet));
+  return true;
+}
+
+}  // namespace f2t::net

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/node.hpp"
+#include "routing/fib.hpp"
+
+namespace f2t::net {
+
+/// Layer-3 switch: the data plane of the reproduction.
+///
+/// Matches the paper's production-DCN model (§II-B): all ports are bundled
+/// into one L3 interface with a single address (the router id); forwarding
+/// is longest-prefix match over the FIB with ECMP among usable next hops.
+/// "Usable" is judged by the *locally detected* port state, which lags the
+/// physical state by the failure-detection delay — that lag is the floor
+/// on any recovery scheme, F²Tree included.
+class L3Switch : public Node {
+ public:
+  struct Counters {
+    std::uint64_t forwarded = 0;
+    std::uint64_t local_delivered = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t control_in = 0;
+  };
+
+  /// Called for control-plane (Protocol::kRouting) packets.
+  using ControlHandler = std::function<void(PortId, const Packet&)>;
+  /// Observer of detected port up/down transitions.
+  using PortStateHandler = std::function<void(PortId, bool)>;
+  /// Forwarding tap: (packet, ingress-or-kInvalidPort, egress).
+  using ForwardTap = std::function<void(const Packet&, PortId, PortId)>;
+
+  L3Switch(sim::Simulator& simulator, NodeId id, std::string name,
+           Ipv4Addr router_id);
+
+  Ipv4Addr router_id() const { return router_id_; }
+
+  routing::Fib& fib() { return fib_; }
+  const routing::Fib& fib() const { return fib_; }
+
+  void receive(PortId p, Packet packet) override;
+
+  /// Routes a packet that originates at this switch (control plane) or
+  /// arrived from a link. Looks up the FIB, applies ECMP, transmits.
+  /// `ingress` is only used for the tap. Returns false when dropped.
+  bool forward(Packet packet, PortId ingress = kInvalidPort);
+
+  /// Locally detected port state (true = believed up).
+  bool port_detected_up(PortId p) const;
+  void set_port_detected(PortId p, bool up);
+
+  void set_control_handler(ControlHandler handler) {
+    control_handler_ = std::move(handler);
+  }
+  void add_port_state_handler(PortStateHandler handler) {
+    port_state_handlers_.push_back(std::move(handler));
+  }
+  void set_forward_tap(ForwardTap tap) { forward_tap_ = std::move(tap); }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void ensure_port_state(PortId p) const;
+
+  Ipv4Addr router_id_;
+  routing::Fib fib_;
+  mutable std::vector<bool> detected_up_;  // grown lazily as ports attach
+  ControlHandler control_handler_;
+  std::vector<PortStateHandler> port_state_handlers_;
+  ForwardTap forward_tap_;
+  Counters counters_;
+};
+
+}  // namespace f2t::net

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::net {
+
+class Node;
+
+/// Link construction parameters. Defaults match the paper's emulation:
+/// 1 Gbps, 5 µs propagation delay (≈250 µs RTT across six hops including
+/// transmission and processing), 100-packet drop-tail ports.
+struct LinkParams {
+  double bandwidth_bps = 1e9;
+  sim::Time propagation_delay = sim::micros(5);
+  std::size_t queue_capacity = 100;
+  std::size_t ecn_threshold = 0;  ///< DCTCP marking threshold; 0 = off
+};
+
+/// Point-to-point duplex link between two node ports.
+///
+/// Each direction has its own drop-tail queue, serializer and up/down
+/// state. The paper evaluates bidirectional failures (set_up affects both
+/// directions) and leaves mixed unidirectional failures to future work —
+/// which set_direction_up supports: a single dead direction black-holes
+/// only that direction's packets, while the liveness observers (and hence
+/// BFD-style detection) treat the link as down the way a real BFD session
+/// would.
+///
+/// Going down black-holes queued and in-flight packets — exactly the
+/// behaviour that makes the 60 ms detection delay costly — and notifies
+/// observers *immediately* at the physical layer; the endpoints only act
+/// once their detection delay elapses (see routing/detection).
+class Link {
+ public:
+  struct End {
+    Node* node = nullptr;
+    PortId port = kInvalidPort;
+  };
+
+  /// A transmission direction, named by its origin end.
+  enum class Direction { kAToB, kBToA };
+
+  Link(sim::Simulator& simulator, LinkId id, End a, End b,
+       const LinkParams& params);
+
+  LinkId id() const { return id_; }
+  const End& end_a() const { return a_; }
+  const End& end_b() const { return b_; }
+
+  /// The far end as seen from `from`. Precondition: `from` is an endpoint.
+  const End& peer_of(const Node& from) const;
+
+  /// The direction whose origin is `from`.
+  Direction direction_from(const Node& from) const;
+
+  /// True iff both directions are up (a BFD session's view).
+  bool is_up() const { return a_to_b_.up && b_to_a_.up; }
+  bool direction_up(Direction d) const {
+    return d == Direction::kAToB ? a_to_b_.up : b_to_a_.up;
+  }
+
+  /// Brings both directions up or down. Idempotent per direction.
+  void set_up(bool up);
+
+  /// Unidirectional state change (future-work extension of the paper).
+  void set_direction_up(Direction direction, bool up);
+
+  /// Gray failure: the direction stays *up* (no detection fires) but
+  /// drops each packet independently with probability `rate`. Models the
+  /// silent packet-loss failures production studies report, which BFD
+  /// does not catch — and which F²Tree's detection-triggered reroute
+  /// therefore cannot help with.
+  void set_loss_rate(Direction direction, double rate, sim::Random* rng);
+
+  std::uint64_t dropped_gray() const { return dropped_gray_; }
+
+  /// Called by Node::send. Drops silently when the direction is down.
+  void transmit(const Node& from, Packet packet);
+
+  /// Observer signature: (link, session-now-up?). Fired on transitions of
+  /// the aggregate is_up() state.
+  using Observer = std::function<void(Link&, bool)>;
+  void add_observer(Observer observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  const LinkParams& params() const { return params_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped_down() const { return dropped_down_; }
+  std::uint64_t dropped_queue() const;
+
+ private:
+  struct Channel {
+    DropTailQueue queue;
+    bool busy = false;
+    bool up = true;
+    std::uint64_t epoch = 0;  ///< bumped on every state change
+    double loss_rate = 0.0;   ///< gray-failure drop probability
+    sim::Random* loss_rng = nullptr;
+
+    explicit Channel(std::size_t capacity) : queue(capacity) {}
+  };
+
+  Channel& channel_from(const Node& from);
+  Channel& channel(Direction d) {
+    return d == Direction::kAToB ? a_to_b_ : b_to_a_;
+  }
+  void set_channel_up(Channel& ch, bool up);
+  void start_next(Channel& channel, const End& to);
+  void deliver(Channel& channel, const End& to, Packet packet,
+               std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  LinkId id_;
+  End a_;
+  End b_;
+  LinkParams params_;
+  Channel a_to_b_;
+  Channel b_to_a_;
+  std::vector<Observer> observers_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t dropped_gray_ = 0;
+};
+
+}  // namespace f2t::net

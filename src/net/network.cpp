@@ -1,0 +1,122 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace f2t::net {
+
+L3Switch& Network::add_switch(const std::string& name, Ipv4Addr router_id) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Network: duplicate node name " + name);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<L3Switch>(sim_, id, name, router_id);
+  L3Switch& ref = *sw;
+  nodes_.push_back(std::move(sw));
+  by_name_.emplace(name, id);
+  return ref;
+}
+
+Host& Network::add_host(const std::string& name, Ipv4Addr addr,
+                        L3Switch* tor) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Network: duplicate node name " + name);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(sim_, id, name, addr);
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  by_name_.emplace(name, id);
+  if (tor != nullptr) {
+    connect(*tor, ref, default_params_);
+    const PortId tor_port = static_cast<PortId>(tor->port_count() - 1);
+    tor->fib().install(routing::Route{
+        net::Prefix::host(addr),
+        {routing::NextHop{tor_port, addr}},
+        routing::RouteSource::kConnected});
+  }
+  return ref;
+}
+
+Ipv4Addr Network::l3_addr_of(const Node& node) const {
+  if (const auto* sw = dynamic_cast<const L3Switch*>(&node)) {
+    return sw->router_id();
+  }
+  if (const auto* host = dynamic_cast<const Host*>(&node)) {
+    return host->addr();
+  }
+  return Ipv4Addr{};
+}
+
+Link& Network::connect(Node& a, Node& b, const LinkParams& params) {
+  if (&a == &b) throw std::invalid_argument("Network: self-link");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  const PortId pa = a.add_port();
+  const PortId pb = b.add_port();
+  links_.push_back(std::make_unique<Link>(sim_, id, Link::End{&a, pa},
+                                          Link::End{&b, pb}, params));
+  Link& ref = *links_.back();
+  a.set_port_link(pa, &ref);
+  b.set_port_link(pb, &ref);
+  a.set_port_peer(pa, b.id(), l3_addr_of(b),
+                  dynamic_cast<L3Switch*>(&b) != nullptr);
+  b.set_port_peer(pb, a.id(), l3_addr_of(a),
+                  dynamic_cast<L3Switch*>(&a) != nullptr);
+  return ref;
+}
+
+Link* Network::find_link(const Node& a, const Node& b) {
+  for (const auto& link : links_) {
+    const bool fwd = link->end_a().node == &a && link->end_b().node == &b;
+    const bool rev = link->end_a().node == &b && link->end_b().node == &a;
+    if (fwd || rev) return link.get();
+  }
+  return nullptr;
+}
+
+std::vector<Link*> Network::find_links(const Node& a, const Node& b) {
+  std::vector<Link*> out;
+  for (const auto& link : links_) {
+    const bool fwd = link->end_a().node == &a && link->end_b().node == &b;
+    const bool rev = link->end_a().node == &b && link->end_b().node == &a;
+    if (fwd || rev) out.push_back(link.get());
+  }
+  return out;
+}
+
+Node* Network::find_node(const std::string& name) {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : nodes_[it->second].get();
+}
+
+L3Switch* Network::find_switch(const std::string& name) {
+  return dynamic_cast<L3Switch*>(find_node(name));
+}
+
+Host* Network::find_host(const std::string& name) {
+  return dynamic_cast<Host*>(find_node(name));
+}
+
+std::vector<L3Switch*> Network::switches() {
+  std::vector<L3Switch*> out;
+  for (const auto& node : nodes_) {
+    if (auto* sw = dynamic_cast<L3Switch*>(node.get())) out.push_back(sw);
+  }
+  return out;
+}
+
+std::vector<Host*> Network::hosts() {
+  std::vector<Host*> out;
+  for (const auto& node : nodes_) {
+    if (auto* host = dynamic_cast<Host*>(node.get())) out.push_back(host);
+  }
+  return out;
+}
+
+std::vector<Link*> Network::links() {
+  std::vector<Link*> out;
+  out.reserve(links_.size());
+  for (const auto& link : links_) out.push_back(link.get());
+  return out;
+}
+
+}  // namespace f2t::net

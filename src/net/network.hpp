@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/l3switch.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::net {
+
+/// Owns every node and link of one simulated network and wires them up.
+///
+/// The Network is deliberately dumb: topology generators (src/topo) decide
+/// *what* to connect; failure injectors (src/failure) decide what to break;
+/// the control plane (src/routing) decides what to install. Connected /32
+/// host routes are the one piece of routing the builder installs itself,
+/// mirroring a ToR's directly-attached subnet.
+class Network {
+ public:
+  explicit Network(sim::Simulator& simulator) : sim_(simulator) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Creates an L3 switch. Names must be unique.
+  L3Switch& add_switch(const std::string& name, Ipv4Addr router_id);
+
+  /// Creates a host and, if `tor` is given, links it to the ToR and
+  /// installs the connected /32 route on the ToR.
+  Host& add_host(const std::string& name, Ipv4Addr addr,
+                 L3Switch* tor = nullptr);
+
+  /// Connects two nodes with a duplex link; fills in per-port peer
+  /// metadata on both sides.
+  Link& connect(Node& a, Node& b, const LinkParams& params = {});
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  Link& link(LinkId id) { return *links_.at(id); }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// The link between two nodes, or nullptr (first match if parallel).
+  Link* find_link(const Node& a, const Node& b);
+
+  /// All links between two nodes (across rings can be parallel pairs).
+  std::vector<Link*> find_links(const Node& a, const Node& b);
+
+  Node* find_node(const std::string& name);
+  L3Switch* find_switch(const std::string& name);
+  Host* find_host(const std::string& name);
+
+  std::vector<L3Switch*> switches();
+  std::vector<Host*> hosts();
+  std::vector<Link*> links();
+
+  const LinkParams& default_link_params() const { return default_params_; }
+  void set_default_link_params(const LinkParams& params) {
+    default_params_ = params;
+  }
+
+  /// Connect with the network-wide default parameters.
+  Link& connect_default(Node& a, Node& b) {
+    return connect(a, b, default_params_);
+  }
+
+ private:
+  Ipv4Addr l3_addr_of(const Node& node) const;
+
+  sim::Simulator& sim_;
+  LinkParams default_params_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace f2t::net

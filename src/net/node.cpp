@@ -1,0 +1,41 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+
+#include "net/link.hpp"
+
+namespace f2t::net {
+
+PortId Node::add_port() {
+  if (ports_.size() >= kInvalidPort) {
+    throw std::length_error("add_port: too many ports");
+  }
+  ports_.push_back(PortInfo{nullptr, kInvalidNode, Ipv4Addr{}});
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void Node::set_port_link(PortId p, Link* link) {
+  if (link == nullptr) throw std::invalid_argument("set_port_link: null link");
+  ports_.at(p).link = link;
+}
+
+void Node::set_port_peer(PortId p, NodeId peer, Ipv4Addr peer_addr,
+                         bool peer_is_switch) {
+  PortInfo& info = ports_.at(p);
+  info.peer_node = peer;
+  info.peer_addr = peer_addr;
+  info.peer_is_switch = peer_is_switch;
+}
+
+PortId Node::port_of_link(const Link& link) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].link == &link) return static_cast<PortId>(i);
+  }
+  return kInvalidPort;
+}
+
+void Node::send(PortId p, Packet packet) {
+  ports_.at(p).link->transmit(*this, std::move(packet));
+}
+
+}  // namespace f2t::net

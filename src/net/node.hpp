@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::net {
+
+class Link;
+
+/// Base class for hosts and switches.
+///
+/// A node owns a list of ports; each port is bound to one link end. The
+/// Network builder wires ports and fills in the peer metadata (node id and
+/// L3 address of the far side) that the control plane needs.
+class Node {
+ public:
+  struct PortInfo {
+    Link* link = nullptr;
+    NodeId peer_node = kInvalidNode;
+    Ipv4Addr peer_addr;  ///< router id of a peer switch / address of a host
+    bool peer_is_switch = false;
+  };
+
+  Node(sim::Simulator& simulator, NodeId id, std::string name)
+      : sim_(simulator), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  std::size_t port_count() const { return ports_.size(); }
+  const PortInfo& port(PortId p) const { return ports_.at(p); }
+  const std::vector<PortInfo>& ports() const { return ports_; }
+
+  /// Creates an unbound port; Network binds it to a link right after.
+  PortId add_port();
+  void set_port_link(PortId p, Link* link);
+  void set_port_peer(PortId p, NodeId peer, Ipv4Addr peer_addr,
+                     bool peer_is_switch);
+
+  /// The port bound to `link`, or kInvalidPort.
+  PortId port_of_link(const Link& link) const;
+
+  /// Transmits a packet out of a port (into that port's link).
+  void send(PortId p, Packet packet);
+
+  /// Packet arrival from a link. Implemented by Host / L3Switch.
+  virtual void receive(PortId p, Packet packet) = 0;
+
+ protected:
+  sim::Simulator& sim_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::vector<PortInfo> ports_;
+};
+
+}  // namespace f2t::net

@@ -1,0 +1,32 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace f2t::net {
+
+namespace {
+const char* proto_name(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return "udp";
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kRouting: return "routing";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << proto_name(proto) << " " << src.str() << ":" << sport << " -> "
+     << dst.str() << ":" << dport << " size=" << size_bytes
+     << " ttl=" << int{ttl};
+  if (proto == Protocol::kTcp) {
+    os << " seq=" << tcp.seq << " ack=" << tcp.ack
+       << " len=" << tcp.payload_bytes << " flags=" << int{tcp.flags};
+  } else if (proto == Protocol::kUdp) {
+    os << " useq=" << udp_seq;
+  }
+  return os.str();
+}
+
+}  // namespace f2t::net

@@ -1,0 +1,28 @@
+#include "net/queue.hpp"
+
+#include <utility>
+
+namespace f2t::net {
+
+bool DropTailQueue::push(Packet packet) {
+  if (packets_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  if (ecn_threshold_ > 0 && packets_.size() >= ecn_threshold_) {
+    packet.ecn_ce = true;
+    ++marked_;
+  }
+  packets_.push_back(std::move(packet));
+  ++enqueued_;
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::pop() {
+  if (packets_.empty()) return std::nullopt;
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  return p;
+}
+
+}  // namespace f2t::net

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace f2t::net {
+
+/// Drop-tail FIFO bounded by packet count, as in commodity switch ports.
+///
+/// The paper's experiments are failure-recovery bound, not queueing bound,
+/// but the transport model still needs loss under overload to behave like
+/// a real network (e.g. partition-aggregate incast).
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets = 100)
+      : capacity_(capacity_packets) {}
+
+  /// ECN/DCTCP: packets enqueued while size() >= threshold get their CE
+  /// bit set. Zero disables marking (default).
+  void set_ecn_threshold(std::size_t packets) { ecn_threshold_ = packets; }
+  std::size_t ecn_threshold() const { return ecn_threshold_; }
+
+  /// Returns false (and counts a drop) if the queue is full.
+  bool push(Packet packet);
+
+  std::optional<Packet> pop();
+
+  void clear() { packets_.clear(); }
+
+  bool empty() const { return packets_.empty(); }
+  std::size_t size() const { return packets_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t marked() const { return marked_; }
+
+ private:
+  std::deque<Packet> packets_;
+  std::size_t capacity_;
+  std::size_t ecn_threshold_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t marked_ = 0;
+};
+
+}  // namespace f2t::net

@@ -1,0 +1,36 @@
+#include "net/trace.hpp"
+
+namespace f2t::net {
+
+PacketTracer::PacketTracer(Network& network) : network_(network) {
+  for (L3Switch* sw : network_.switches()) {
+    const NodeId id = sw->id();
+    sw->set_forward_tap(
+        [this, id](const Packet& packet, PortId ingress, PortId egress) {
+          by_uid_[packet.uid].push_back(
+              Hop{network_.simulator().now(), id, ingress, egress});
+          ++events_;
+        });
+  }
+}
+
+const std::vector<PacketTracer::Hop>& PacketTracer::hops_of(
+    std::uint64_t uid) const {
+  const auto it = by_uid_.find(uid);
+  return it == by_uid_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string> PacketTracer::path_names(std::uint64_t uid) const {
+  std::vector<std::string> names;
+  for (const Hop& hop : hops_of(uid)) {
+    names.push_back(network_.node(hop.node).name());
+  }
+  return names;
+}
+
+void PacketTracer::clear() {
+  by_uid_.clear();
+  events_ = 0;
+}
+
+}  // namespace f2t::net

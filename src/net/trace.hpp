@@ -1,0 +1,54 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace f2t::net {
+
+/// Data-plane packet tracer: hooks the forwarding tap of every switch in
+/// a network and records each forwarding decision. Unlike
+/// failure::trace_route (which *predicts* a path from FIB state), this
+/// observes what the data plane actually did — including transient
+/// bounces, reroutes mid-flight and TTL deaths — which is how the tests
+/// verify fast-reroute paths packet by packet.
+///
+/// Tracing costs a hash-map append per forwarded packet; construct it
+/// only in experiments that need it. Only one tracer (or other tap user)
+/// can be attached to a switch at a time.
+class PacketTracer {
+ public:
+  struct Hop {
+    sim::Time at = 0;
+    NodeId node = kInvalidNode;
+    PortId ingress = kInvalidPort;
+    PortId egress = kInvalidPort;
+  };
+
+  /// Attaches to every switch currently in the network.
+  explicit PacketTracer(Network& network);
+
+  /// Hop sequence of one packet (by uid), in forwarding order.
+  const std::vector<Hop>& hops_of(std::uint64_t uid) const;
+
+  /// Switch names visited by a packet, in order.
+  std::vector<std::string> path_names(std::uint64_t uid) const;
+
+  /// Total forwarding events recorded.
+  std::size_t event_count() const { return events_; }
+
+  /// Number of distinct packets seen.
+  std::size_t packet_count() const { return by_uid_.size(); }
+
+  /// Drops accumulated state (e.g. between experiment phases).
+  void clear();
+
+ private:
+  Network& network_;
+  std::unordered_map<std::uint64_t, std::vector<Hop>> by_uid_;
+  std::vector<Hop> empty_;
+  std::size_t events_ = 0;
+};
+
+}  // namespace f2t::net

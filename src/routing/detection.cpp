@@ -1,0 +1,45 @@
+#include "routing/detection.hpp"
+
+namespace f2t::routing {
+
+namespace {
+std::uint64_t key_of(net::NodeId node, net::PortId port) {
+  return (std::uint64_t{node} << 16) | port;
+}
+}  // namespace
+
+DetectionAgent::DetectionAgent(net::Network& network,
+                               const DetectionConfig& config)
+    : network_(network), config_(config) {}
+
+void DetectionAgent::attach_all() {
+  for (net::Link* link : network_.links()) {
+    link->add_observer(
+        [this](net::Link& l, bool up) { on_link_event(l, up); });
+  }
+}
+
+void DetectionAgent::on_link_event(net::Link& link, bool up) {
+  schedule_for_end(link.end_a(), up);
+  schedule_for_end(link.end_b(), up);
+}
+
+void DetectionAgent::schedule_for_end(const net::Link::End& end, bool up) {
+  auto* sw = dynamic_cast<net::L3Switch*>(end.node);
+  if (sw == nullptr) return;  // hosts have no detector in this model
+  auto& sim = network_.simulator();
+  const std::uint64_t key = key_of(sw->id(), end.port);
+  // A flap within the window supersedes the pending report.
+  if (const auto it = pending_.find(key); it != pending_.end()) {
+    sim.cancel(it->second);
+    pending_.erase(it);
+  }
+  const sim::Time delay = up ? config_.up_delay : config_.down_delay;
+  const net::PortId port = end.port;
+  pending_[key] = sim.after(delay, [this, sw, port, up, key] {
+    pending_.erase(key);
+    sw->set_port_detected(port, up);
+  });
+}
+
+}  // namespace f2t::routing

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace f2t::routing {
+
+/// Failure-detection timing. The 60 ms default is what the paper measured
+/// for interface-down detection on its testbed and calls comparable to BFD.
+struct DetectionConfig {
+  sim::Time down_delay = sim::millis(60);
+  sim::Time up_delay = sim::millis(60);
+};
+
+/// Interface-liveness detector (BFD-like).
+///
+/// Observes physical link transitions and, after the configured delay,
+/// flips the *detected* port state on each attached switch. The detected
+/// state is what the data plane's ECMP filter and the control plane react
+/// to — the physical/detected gap is the unavoidable floor of every
+/// recovery scheme in the paper.
+///
+/// Flaps inside the detection window cancel the pending update, so a link
+/// that comes back before detection completes is never reported down.
+class DetectionAgent {
+ public:
+  DetectionAgent(net::Network& network, const DetectionConfig& config = {});
+
+  /// Registers observers on every link currently in the network. Call
+  /// after topology construction.
+  void attach_all();
+
+  const DetectionConfig& config() const { return config_; }
+
+ private:
+  void on_link_event(net::Link& link, bool up);
+  void schedule_for_end(const net::Link::End& end, bool up);
+
+  net::Network& network_;
+  DetectionConfig config_;
+  // Pending detection event per (node, port).
+  std::unordered_map<std::uint64_t, sim::EventId> pending_;
+};
+
+}  // namespace f2t::routing

@@ -1,0 +1,32 @@
+#include "routing/ecmp.hpp"
+
+#include <stdexcept>
+
+namespace f2t::routing {
+
+namespace {
+// SplitMix64 finalizer: cheap and well mixed for 64-bit lanes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t ecmp_hash(const net::Packet& packet, std::uint64_t salt) {
+  std::uint64_t h = salt;
+  h = mix64(h ^ packet.src.value());
+  h = mix64(h ^ packet.dst.value());
+  h = mix64(h ^ ((std::uint64_t{packet.sport} << 32) | packet.dport));
+  h = mix64(h ^ static_cast<std::uint64_t>(packet.proto));
+  return h;
+}
+
+std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
+                        std::size_t n) {
+  if (n == 0) throw std::invalid_argument("ecmp_select: empty next-hop set");
+  return static_cast<std::size_t>(ecmp_hash(packet, salt) % n);
+}
+
+}  // namespace f2t::routing

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace f2t::routing {
+
+/// Deterministic five-tuple hash for ECMP member selection.
+///
+/// The salt is the switch id: hashing the same flow differently at each hop
+/// avoids the classic ECMP polarization problem, matching what production
+/// gear does with per-device hash seeds.
+std::uint64_t ecmp_hash(const net::Packet& packet, std::uint64_t salt);
+
+/// Picks the ECMP member index for a packet among `n` usable next hops.
+std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
+                        std::size_t n);
+
+}  // namespace f2t::routing

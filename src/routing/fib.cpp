@@ -1,0 +1,132 @@
+#include "routing/fib.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::routing {
+
+const Route* Fib::Slot::best() const {
+  const Route* best = nullptr;
+  for (const Route& r : by_source) {
+    if (best == nullptr ||
+        static_cast<int>(r.source) < static_cast<int>(best->source)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+Route* Fib::Slot::find(RouteSource source) {
+  for (Route& r : by_source) {
+    if (r.source == source) return &r;
+  }
+  return nullptr;
+}
+
+void Fib::install(Route route) {
+  if (route.next_hops.empty()) {
+    throw std::invalid_argument("Fib::install: route without next hops: " +
+                                route.prefix.str());
+  }
+  // Deterministic next-hop order so ECMP hashing is stable across runs.
+  std::sort(route.next_hops.begin(), route.next_hops.end());
+  Slot& slot = by_length_[static_cast<std::size_t>(route.prefix.length())]
+                         [route.prefix.address().value()];
+  if (Route* existing = slot.find(route.source)) {
+    *existing = std::move(route);
+  } else {
+    slot.by_source.push_back(std::move(route));
+    ++count_;
+  }
+}
+
+void Fib::remove(const net::Prefix& prefix, RouteSource source) {
+  auto& bucket = by_length_[static_cast<std::size_t>(prefix.length())];
+  auto it = bucket.find(prefix.address().value());
+  if (it == bucket.end()) return;
+  auto& routes = it->second.by_source;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (routes[i].source == source) {
+      routes.erase(routes.begin() + static_cast<std::ptrdiff_t>(i));
+      --count_;
+      break;
+    }
+  }
+  if (routes.empty()) bucket.erase(it);
+}
+
+void Fib::clear_source(RouteSource source) {
+  for (auto& bucket : by_length_) {
+    for (auto it = bucket.begin(); it != bucket.end();) {
+      auto& routes = it->second.by_source;
+      for (std::size_t i = 0; i < routes.size(); ++i) {
+        if (routes[i].source == source) {
+          routes.erase(routes.begin() + static_cast<std::ptrdiff_t>(i));
+          --count_;
+          break;
+        }
+      }
+      it = routes.empty() ? bucket.erase(it) : std::next(it);
+    }
+  }
+}
+
+void Fib::replace_source(RouteSource source, std::vector<Route> routes) {
+  clear_source(source);
+  for (Route& r : routes) {
+    r.source = source;
+    install(std::move(r));
+  }
+}
+
+std::vector<NextHop> Fib::lookup(net::Ipv4Addr dst,
+                                 const PortUpFn& port_up) const {
+  for (int length = 32; length >= 0; --length) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(length)];
+    if (bucket.empty()) continue;
+    const std::uint32_t mask =
+        length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+    const auto it = bucket.find(dst.value() & mask);
+    if (it == bucket.end()) continue;
+    const Route* route = it->second.best();
+    if (route == nullptr) continue;
+    std::vector<NextHop> usable;
+    usable.reserve(route->next_hops.size());
+    for (const NextHop& nh : route->next_hops) {
+      if (!port_up || port_up(nh.port)) usable.push_back(nh);
+    }
+    if (!usable.empty()) return usable;
+    // All next hops locally dead: fall through to the next-shorter prefix.
+    // This single line is what makes the paper's pre-installed backup
+    // statics take over instantly after failure detection.
+  }
+  return {};
+}
+
+std::optional<Route> Fib::find(const net::Prefix& prefix,
+                               RouteSource source) const {
+  const auto& bucket = by_length_[static_cast<std::size_t>(prefix.length())];
+  const auto it = bucket.find(prefix.address().value());
+  if (it == bucket.end()) return std::nullopt;
+  for (const Route& r : it->second.by_source) {
+    if (r.source == source) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<Route> Fib::dump() const {
+  std::vector<Route> out;
+  out.reserve(count_);
+  for (const auto& bucket : by_length_) {
+    for (const auto& [key, slot] : bucket) {
+      for (const Route& r : slot.by_source) out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    return static_cast<int>(a.source) < static_cast<int>(b.source);
+  });
+  return out;
+}
+
+}  // namespace f2t::routing

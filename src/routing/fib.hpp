@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/route.hpp"
+
+namespace f2t::routing {
+
+/// Forwarding Information Base with longest-prefix match and next-hop
+/// liveness fallback.
+///
+/// This structure encodes the mechanism at the heart of F²Tree (§II-B of
+/// the paper): the lookup walks prefix lengths longest-first and *skips*
+/// any entry whose next hops are all locally detected down, so that a /24
+/// learned from OSPF with a dead downlink falls through to the
+/// pre-installed /16 static backup (right across neighbour) and then to the
+/// /15 (left across neighbour) — with no control-plane involvement and no
+/// FIB write. ECMP's failed-member elimination for upward links is the
+/// same filter applied within one entry's next-hop set.
+///
+/// One entry is stored per (prefix, source); forwarding uses the best
+/// source (lowest administrative distance) per prefix, like a real RIB→FIB
+/// selection.
+class Fib {
+ public:
+  /// Predicate telling whether a local egress port is usable (i.e. the
+  /// data plane has not detected it down).
+  using PortUpFn = std::function<bool(net::PortId)>;
+
+  /// Installs or replaces the route for (route.prefix, route.source).
+  void install(Route route);
+
+  /// Removes the entry for (prefix, source). No-op if absent.
+  void remove(const net::Prefix& prefix, RouteSource source);
+
+  /// Removes every route from `source` (used when SPF reinstalls its
+  /// whole result).
+  void clear_source(RouteSource source);
+
+  /// Atomically replaces all routes of `source` with `routes`.
+  void replace_source(RouteSource source, std::vector<Route> routes);
+
+  /// Longest-prefix match over *usable* entries: returns the usable next
+  /// hops of the longest prefix containing `dst` whose best-source entry
+  /// has at least one next hop with port_up(port). Falls through to
+  /// shorter prefixes otherwise.
+  std::vector<NextHop> lookup(net::Ipv4Addr dst, const PortUpFn& port_up) const;
+
+  /// Exact-match query of the installed route (ignoring liveness).
+  std::optional<Route> find(const net::Prefix& prefix, RouteSource source) const;
+
+  /// All installed routes (every source), sorted by prefix then source;
+  /// for dumps and tests.
+  std::vector<Route> dump() const;
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    // Routes for one prefix keyed by source; kept tiny (≤3 sources).
+    std::vector<Route> by_source;
+
+    const Route* best() const;
+    Route* find(RouteSource source);
+  };
+
+  // One hash map per prefix length; lookup probes lengths 32..0.
+  std::array<std::unordered_map<std::uint32_t, Slot>, 33> by_length_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace f2t::routing

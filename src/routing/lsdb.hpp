@@ -1,0 +1,30 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "routing/lsa.hpp"
+
+namespace f2t::routing {
+
+/// Link-state database: newest LSA per origin.
+class Lsdb {
+ public:
+  /// Installs `lsa` if it is newer than what we hold for its origin.
+  /// Returns true when the database changed (caller should re-flood and
+  /// schedule SPF).
+  bool consider(LsaPtr lsa);
+
+  const Lsa* find(net::Ipv4Addr origin) const;
+
+  /// Newest known sequence for an origin (0 if unknown).
+  std::uint64_t sequence_of(net::Ipv4Addr origin) const;
+
+  std::vector<LsaPtr> all() const;
+  std::size_t size() const { return by_origin_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Addr, LsaPtr> by_origin_;
+};
+
+}  // namespace f2t::routing

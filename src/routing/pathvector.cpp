@@ -1,0 +1,282 @@
+#include "routing/pathvector.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace f2t::routing {
+
+namespace {
+
+bool contains(const std::vector<net::Ipv4Addr>& path, net::Ipv4Addr router) {
+  return std::find(path.begin(), path.end(), router) != path.end();
+}
+
+/// Shortest path wins; ties break on the lexicographically smallest path
+/// so selection is deterministic.
+bool better(const std::vector<net::Ipv4Addr>& a,
+            const std::vector<net::Ipv4Addr>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+}  // namespace
+
+PathVector::PathVector(net::L3Switch& sw, const PathVectorConfig& config)
+    : sw_(sw), config_(config) {}
+
+void PathVector::redistribute(const net::Prefix& prefix) {
+  PrefixState& state = prefixes_[prefix];
+  state.originated = true;
+  state.exported = {sw_.router_id()};
+}
+
+void PathVector::attach() {
+  sw_.set_control_handler([this](net::PortId port, const net::Packet& packet) {
+    handle_control(port, packet);
+  });
+  sw_.add_port_state_handler(
+      [this](net::PortId port, bool up) { on_port_state(port, up); });
+}
+
+std::vector<net::PortId> PathVector::neighbor_ports() const {
+  std::vector<net::PortId> ports;
+  for (net::PortId p = 0; p < sw_.port_count(); ++p) {
+    if (sw_.port(p).peer_is_switch && sw_.port_detected_up(p)) {
+      ports.push_back(p);
+    }
+  }
+  return ports;
+}
+
+bool PathVector::reselect(const net::Prefix& prefix) {
+  PrefixState& state = prefixes_[prefix];
+  std::vector<net::Ipv4Addr> fresh;
+  if (state.originated) {
+    fresh = {sw_.router_id()};
+  } else {
+    const std::vector<net::Ipv4Addr>* best = nullptr;
+    for (const auto& [port, adj] : state.in) {
+      if (!sw_.port_detected_up(port)) continue;
+      if (contains(adj.path, sw_.router_id())) continue;
+      if (best == nullptr || better(adj.path, *best)) best = &adj.path;
+    }
+    if (best != nullptr) {
+      fresh.reserve(best->size() + 1);
+      fresh.push_back(sw_.router_id());
+      fresh.insert(fresh.end(), best->begin(), best->end());
+    }
+  }
+  if (fresh == state.exported) return false;
+  state.exported = std::move(fresh);
+  return true;
+}
+
+std::vector<Route> PathVector::build_routes() const {
+  std::vector<Route> routes;
+  for (const auto& [prefix, state] : prefixes_) {
+    if (state.originated) continue;
+    // Best length among valid adjacency entries.
+    std::size_t best_len = ~std::size_t{0};
+    for (const auto& [port, adj] : state.in) {
+      if (!sw_.port_detected_up(port)) continue;
+      if (contains(adj.path, sw_.router_id())) continue;
+      best_len = std::min(best_len, adj.path.size());
+    }
+    if (best_len == ~std::size_t{0}) continue;
+    std::vector<NextHop> hops;
+    for (const auto& [port, adj] : state.in) {
+      if (!sw_.port_detected_up(port)) continue;
+      if (contains(adj.path, sw_.router_id())) continue;
+      if (adj.path.size() != best_len) continue;
+      hops.push_back(NextHop{port, sw_.port(port).peer_addr});
+      if (!config_.multipath) break;
+    }
+    if (!hops.empty()) {
+      routes.push_back(Route{prefix, std::move(hops), RouteSource::kOspf});
+    }
+  }
+  return routes;
+}
+
+void PathVector::schedule_fib_install() {
+  if (pending_install_ != sim::kInvalidEventId) return;
+  pending_install_ =
+      sw_.simulator().after(config_.fib_update_delay, [this] {
+        pending_install_ = sim::kInvalidEventId;
+        sw_.fib().replace_source(RouteSource::kOspf, build_routes());
+        ++counters_.fib_installs;
+      });
+}
+
+void PathVector::schedule_export(const net::Prefix& prefix) {
+  auto& sim = sw_.simulator();
+  for (const net::PortId port : neighbor_ports()) {
+    NeighborOut& out = out_[port];
+    if (std::find(out.pending.begin(), out.pending.end(), prefix) ==
+        out.pending.end()) {
+      out.pending.push_back(prefix);
+    }
+    if (out.timer != sim::kInvalidEventId) continue;
+    // MRAI: the first update goes after the processing delay; repeats to
+    // the same neighbour wait out the interval.
+    const sim::Time earliest =
+        out.last_sent < 0 ? sim.now() : out.last_sent + config_.mrai;
+    const sim::Time when =
+        std::max(earliest, sim.now()) + config_.processing_delay;
+    out.timer = sim.at(when, [this, port] {
+      out_[port].timer = sim::kInvalidEventId;
+      flush_exports(port);
+    });
+  }
+}
+
+void PathVector::flush_exports(net::PortId port) {
+  NeighborOut& out = out_[port];
+  if (out.pending.empty() || !sw_.port_detected_up(port)) {
+    out.pending.clear();
+    return;
+  }
+  auto update = std::make_shared<PvUpdate>();
+  update->origin = sw_.router_id();
+  for (const net::Prefix& prefix : out.pending) {
+    const PrefixState& state = prefixes_[prefix];
+    if (!transit_ && !state.originated) continue;  // no ToR valley transit
+    PvRoute route;
+    route.prefix = prefix;
+    route.path = state.exported;
+    route.withdraw = state.exported.empty();
+    update->routes.push_back(std::move(route));
+  }
+  if (update->routes.empty()) {
+    out.last_sent = sw_.simulator().now();
+    return;
+  }
+  out.pending.clear();
+  out.last_sent = sw_.simulator().now();
+
+  net::Packet packet;
+  packet.src = sw_.router_id();
+  packet.dst = sw_.port(port).peer_addr;
+  packet.proto = net::Protocol::kRouting;
+  packet.size_bytes = update->wire_size();
+  packet.control = update;
+  ++counters_.updates_sent;
+  sw_.send(port, std::move(packet));
+}
+
+void PathVector::handle_control(net::PortId in_port,
+                                const net::Packet& packet) {
+  const auto update =
+      std::dynamic_pointer_cast<const PvUpdate>(packet.control);
+  if (!update) return;
+  ++counters_.updates_received;
+  bool any_change = false;
+  for (const PvRoute& route : update->routes) {
+    PrefixState& state = prefixes_[route.prefix];
+    if (route.withdraw || route.path.empty() ||
+        contains(route.path, sw_.router_id())) {
+      if (state.in.erase(in_port) > 0) {
+        ++counters_.routes_withdrawn;
+        any_change = true;
+      }
+    } else {
+      auto [it, inserted] = state.in.insert_or_assign(
+          in_port, AdjIn{route.path});
+      (void)it;
+      any_change = true;
+    }
+    if (reselect(route.prefix)) schedule_export(route.prefix);
+  }
+  if (any_change) schedule_fib_install();
+}
+
+void PathVector::on_port_state(net::PortId port, bool up) {
+  bool any_change = false;
+  if (!up) {
+    // Session loss: everything learned from that neighbour is invalid.
+    for (auto& [prefix, state] : prefixes_) {
+      if (state.in.erase(port) > 0) {
+        ++counters_.routes_withdrawn;
+        any_change = true;
+      }
+      if (reselect(prefix)) schedule_export(prefix);
+    }
+    // Dump any queued updates for the dead session.
+    if (auto it = out_.find(port); it != out_.end()) {
+      if (it->second.timer != sim::kInvalidEventId) {
+        sw_.simulator().cancel(it->second.timer);
+      }
+      out_.erase(it);
+    }
+  } else {
+    // Session (re-)established: advertise the full table to the neighbour.
+    for (const auto& [prefix, state] : prefixes_) {
+      if (!state.exported.empty() && (transit_ || state.originated)) {
+        NeighborOut& out = out_[port];
+        out.pending.push_back(prefix);
+      }
+    }
+    NeighborOut& out = out_[port];
+    if (!out.pending.empty() && out.timer == sim::kInvalidEventId) {
+      out.timer = sw_.simulator().after(config_.processing_delay,
+                                        [this, port] {
+                                          out_[port].timer =
+                                              sim::kInvalidEventId;
+                                          flush_exports(port);
+                                        });
+    }
+    any_change = true;
+  }
+  if (any_change) schedule_fib_install();
+}
+
+void PathVector::warm_start_all(
+    const std::vector<std::unique_ptr<PathVector>>& instances) {
+  // Map router id -> instance for neighbour lookups.
+  std::unordered_map<net::Ipv4Addr, PathVector*> by_router;
+  for (const auto& instance : instances) {
+    by_router.emplace(instance->sw_.router_id(), instance.get());
+  }
+  // Iterate synchronous exchange rounds to a fixed point. Path lengths in
+  // a DCN are short, so this converges in a handful of rounds.
+  bool changed = true;
+  std::size_t guard = instances.size() * 8 + 8;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const auto& instance : instances) {
+      PathVector& self = *instance;
+      for (const net::PortId port : self.neighbor_ports()) {
+        const auto peer_it = by_router.find(self.sw_.port(port).peer_addr);
+        if (peer_it == by_router.end()) continue;
+        const PathVector& peer = *peer_it->second;
+        for (const auto& [prefix, peer_state] : peer.prefixes_) {
+          PrefixState& state = self.prefixes_[prefix];
+          const bool valid = !peer_state.exported.empty() &&
+                             (peer.transit_ || peer_state.originated) &&
+                             !contains(peer_state.exported,
+                                       self.sw_.router_id());
+          const auto it = state.in.find(port);
+          if (valid) {
+            if (it == state.in.end() || it->second.path !=
+                                            peer_state.exported) {
+              state.in.insert_or_assign(port, AdjIn{peer_state.exported});
+              changed = true;
+            }
+          } else if (it != state.in.end()) {
+            state.in.erase(it);
+            changed = true;
+          }
+          if (self.reselect(prefix)) changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& instance : instances) {
+    instance->sw_.fib().replace_source(RouteSource::kOspf,
+                                       instance->build_routes());
+    ++instance->counters_.fib_installs;
+  }
+}
+
+}  // namespace f2t::routing

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/l3switch.hpp"
+#include "routing/route.hpp"
+
+namespace f2t::routing {
+
+/// One advertised path: the prefix plus the router-id vector it traversed
+/// (most recent hop first, like an AS path).
+struct PvRoute {
+  net::Prefix prefix;
+  std::vector<net::Ipv4Addr> path;  ///< empty path == withdrawal
+  bool withdraw = false;
+};
+
+/// A BGP UPDATE-like control message.
+struct PvUpdate final : net::ControlPayload {
+  net::Ipv4Addr origin;  ///< sending router
+  std::vector<PvRoute> routes;
+
+  std::uint32_t wire_size() const {
+    std::uint32_t size = 64;
+    for (const auto& r : routes) {
+      size += 8 + 4 * static_cast<std::uint32_t>(r.path.size());
+    }
+    return size;
+  }
+};
+
+/// Path-vector protocol timing (§V "Other Distributed Routing Schemes").
+///
+/// `mrai` is the BGP Min Route Advertisement Interval: consecutive
+/// updates to the same neighbour are spaced at least this far apart —
+/// the knob the paper's citation [13] blames for slow (potentially
+/// exponential) BGP convergence. Data-centre BGP deployments shrink it,
+/// so the default here is modest; the bench sweeps it.
+struct PathVectorConfig {
+  sim::Time mrai = sim::millis(100);
+  sim::Time processing_delay = sim::micros(300);
+  sim::Time fib_update_delay = sim::millis(10);
+  bool multipath = true;  ///< ECMP over equal-length best paths
+};
+
+/// Per-switch path-vector (BGP-like) routing instance.
+///
+/// Best-path selection is shortest path vector with a deterministic
+/// tie-break; loops are rejected by the presence of self in the path.
+/// Multipath installs every tied best path as an ECMP next hop, as DCN
+/// BGP deployments do. Withdrawals are implicit: a detected-down port
+/// invalidates everything learned from it, and updates carrying a
+/// `withdraw` flag remove specific adjacency entries.
+class PathVector {
+ public:
+  struct Counters {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t routes_withdrawn = 0;
+    std::uint64_t fib_installs = 0;
+  };
+
+  PathVector(net::L3Switch& sw, const PathVectorConfig& config = {});
+
+  net::L3Switch& device() { return sw_; }
+  const Counters& counters() const { return counters_; }
+
+  void redistribute(const net::Prefix& prefix);
+
+  /// Non-transit routers (ToRs, per RFC 7938-style DCN BGP design) only
+  /// advertise the prefixes they originate: without this, a ToR would
+  /// offer valley paths (up-down-up) through its rack.
+  void set_transit(bool transit) { transit_ = transit; }
+  bool transit() const { return transit_; }
+
+  /// Hooks into the switch. Call once after topology construction.
+  void attach();
+
+  /// Instantly converges a set of instances by iterating synchronous
+  /// exchange rounds until no instance changes (initial setup at t = 0).
+  static void warm_start_all(
+      const std::vector<std::unique_ptr<PathVector>>& instances);
+
+ private:
+  friend struct PathVectorWarmStart;
+
+  struct AdjIn {
+    std::vector<net::Ipv4Addr> path;  ///< as received (no self)
+  };
+  struct PrefixState {
+    // Learned paths per ingress port (Adj-RIB-In).
+    std::map<net::PortId, AdjIn> in;
+    // The path we currently export (empty = unreachable/withdrawn).
+    std::vector<net::Ipv4Addr> exported;
+    bool originated = false;
+  };
+
+  void on_port_state(net::PortId port, bool up);
+  void handle_control(net::PortId in_port, const net::Packet& packet);
+  /// Returns true if the selection (and export) for `prefix` changed.
+  bool reselect(const net::Prefix& prefix);
+  void schedule_export(const net::Prefix& prefix);
+  void flush_exports(net::PortId port);
+  void schedule_fib_install();
+  std::vector<Route> build_routes() const;
+  std::vector<net::PortId> neighbor_ports() const;
+
+  net::L3Switch& sw_;
+  PathVectorConfig config_;
+  std::unordered_map<net::Prefix, PrefixState> prefixes_;
+  // Per-neighbour MRAI machinery: pending prefixes + timer.
+  struct NeighborOut {
+    std::vector<net::Prefix> pending;
+    sim::Time last_sent = -1;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+  std::unordered_map<net::PortId, NeighborOut> out_;
+  sim::EventId pending_install_ = sim::kInvalidEventId;
+  bool transit_ = true;
+  Counters counters_;
+};
+
+}  // namespace f2t::routing

@@ -1,0 +1,25 @@
+#include "routing/route.hpp"
+
+#include <sstream>
+
+namespace f2t::routing {
+
+const char* route_source_name(RouteSource source) {
+  switch (source) {
+    case RouteSource::kConnected: return "connected";
+    case RouteSource::kStatic: return "static";
+    case RouteSource::kOspf: return "ospf";
+  }
+  return "?";
+}
+
+std::string Route::describe() const {
+  std::ostringstream os;
+  os << prefix.str() << " [" << route_source_name(source) << "] via";
+  for (const auto& nh : next_hops) {
+    os << " port" << nh.port << "(" << nh.via.str() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace f2t::routing

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/ipv4.hpp"
+
+namespace f2t::routing {
+
+/// Where a FIB entry came from. Doubles as administrative distance:
+/// lower wins when two sources install the same prefix.
+enum class RouteSource : int {
+  kConnected = 0,  ///< directly attached host subnet / neighbor
+  kStatic = 1,     ///< operator-configured (the F²Tree backup routes)
+  kOspf = 110,     ///< computed by the link-state protocol
+};
+
+const char* route_source_name(RouteSource source);
+
+/// One forwarding alternative: the local egress port plus the far-side
+/// address (kept for diagnostics and route dumps, not for forwarding).
+struct NextHop {
+  net::PortId port = net::kInvalidPort;
+  net::Ipv4Addr via;
+
+  friend auto operator<=>(const NextHop&, const NextHop&) = default;
+};
+
+/// A route as installed into the FIB: a prefix and its ECMP next-hop set.
+struct Route {
+  net::Prefix prefix;
+  std::vector<NextHop> next_hops;
+  RouteSource source = RouteSource::kOspf;
+
+  std::string describe() const;
+};
+
+}  // namespace f2t::routing

@@ -1,0 +1,124 @@
+#include "routing/spf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace f2t::routing {
+
+namespace {
+
+struct NodeState {
+  int dist = std::numeric_limits<int>::max();
+  // First-hop neighbor router ids (relative to the computing router)
+  // across all equal-cost shortest paths.
+  std::set<net::Ipv4Addr> first_hops;
+};
+
+bool two_way(const Lsdb& lsdb, net::Ipv4Addr u, net::Ipv4Addr v) {
+  const Lsa* lv = lsdb.find(v);
+  if (lv == nullptr) return false;
+  return std::any_of(lv->links.begin(), lv->links.end(),
+                     [&](const LsaLink& l) { return l.neighbor == u; });
+}
+
+}  // namespace
+
+std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
+                               const std::vector<LocalAdjacency>& adjacency) {
+  // Ports per first-hop neighbor: parallel links become parallel next hops.
+  std::unordered_map<net::Ipv4Addr, std::vector<net::PortId>> ports_of;
+  for (const LocalAdjacency& adj : adjacency) {
+    ports_of[adj.neighbor].push_back(adj.port);
+  }
+
+  std::unordered_map<net::Ipv4Addr, NodeState> state;
+  state[self].dist = 0;
+
+  using QueueItem = std::pair<int, net::Ipv4Addr>;  // (dist, router)
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;  // deterministic tie-break
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push({0, self});
+  std::unordered_set<net::Ipv4Addr> done;
+
+  while (!queue.empty()) {
+    const auto [dist, u] = queue.top();
+    queue.pop();
+    if (!done.insert(u).second) continue;
+    const Lsa* lsa = lsdb.find(u);
+    if (lsa == nullptr) continue;
+    for (const LsaLink& edge : lsa->links) {
+      const net::Ipv4Addr v = edge.neighbor;
+      // For the computing router trust only its live local adjacencies;
+      // for everyone else require two-way agreement in the LSDB.
+      if (u == self) {
+        if (!ports_of.contains(v)) continue;
+      } else if (!two_way(lsdb, u, v)) {
+        continue;
+      }
+      const int ndist = dist + edge.cost;
+      NodeState& sv = state[v];
+      if (ndist < sv.dist) {
+        sv.dist = ndist;
+        sv.first_hops.clear();
+      }
+      if (ndist == sv.dist) {
+        if (u == self) {
+          sv.first_hops.insert(v);
+        } else {
+          const NodeState& su = state[u];
+          sv.first_hops.insert(su.first_hops.begin(), su.first_hops.end());
+        }
+        queue.push({ndist, v});
+      }
+    }
+  }
+
+  std::vector<Route> routes;
+  for (const auto& [router, node_state] : state) {
+    if (router == self || node_state.first_hops.empty()) continue;
+    const Lsa* lsa = lsdb.find(router);
+    if (lsa == nullptr || lsa->prefixes.empty()) continue;
+    std::vector<NextHop> next_hops;
+    for (const net::Ipv4Addr& hop : node_state.first_hops) {
+      const auto it = ports_of.find(hop);
+      if (it == ports_of.end()) continue;
+      for (const net::PortId port : it->second) {
+        next_hops.push_back(NextHop{port, hop});
+      }
+    }
+    if (next_hops.empty()) continue;
+    for (const net::Prefix& prefix : lsa->prefixes) {
+      routes.push_back(Route{prefix, next_hops, RouteSource::kOspf});
+    }
+  }
+  return routes;
+}
+
+bool lsdb_reachable(const Lsdb& lsdb, net::Ipv4Addr from, net::Ipv4Addr to) {
+  if (from == to) return true;
+  std::unordered_set<net::Ipv4Addr> visited{from};
+  std::vector<net::Ipv4Addr> frontier{from};
+  while (!frontier.empty()) {
+    const net::Ipv4Addr u = frontier.back();
+    frontier.pop_back();
+    const Lsa* lsa = lsdb.find(u);
+    if (lsa == nullptr) continue;
+    for (const LsaLink& edge : lsa->links) {
+      if (!two_way(lsdb, u, edge.neighbor)) continue;
+      if (edge.neighbor == to) return true;
+      if (visited.insert(edge.neighbor).second) {
+        frontier.push_back(edge.neighbor);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace f2t::routing

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "routing/lsdb.hpp"
+#include "routing/route.hpp"
+
+namespace f2t::routing {
+
+/// Inputs describing the computing router's own attachment points:
+/// every local port that faces another router, with the peer's id.
+/// Only detected-up ports should be listed.
+struct LocalAdjacency {
+  net::PortId port = net::kInvalidPort;
+  net::Ipv4Addr neighbor;
+};
+
+/// Shortest-path-first calculation (Dijkstra with ECMP).
+///
+/// Edges require two-way agreement (u lists v AND v lists u), as in OSPF,
+/// so a router whose LSA is stale cannot attract traffic over a dead link
+/// for longer than flooding takes. For every destination router, all
+/// equal-cost first hops are retained; routes are emitted for each prefix
+/// the destination redistributes, mapping first-hop routers back to the
+/// local ports in `adjacency` (parallel links to the same neighbor all
+/// become next hops, which is how the testbed's doubled across links form
+/// a 2-wide ECMP group).
+std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
+                               const std::vector<LocalAdjacency>& adjacency);
+
+/// Reachability probe on the LSDB graph (two-way check applied); used by
+/// tests and topology validation.
+bool lsdb_reachable(const Lsdb& lsdb, net::Ipv4Addr from, net::Ipv4Addr to);
+
+}  // namespace f2t::routing

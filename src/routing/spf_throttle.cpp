@@ -1,0 +1,27 @@
+#include "routing/spf_throttle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::routing {
+
+SpfThrottle::SpfThrottle(const SpfThrottleConfig& config)
+    : config_(config),
+      hold_(config.initial_delay),
+      last_run_(-config.max_wait * 4) {
+  if (config.initial_delay < 0 || config.max_wait < config.initial_delay) {
+    throw std::invalid_argument("SpfThrottle: bad configuration");
+  }
+}
+
+sim::Time SpfThrottle::schedule(sim::Time now) {
+  if (now - last_run_ > 2 * hold_) {
+    hold_ = config_.initial_delay;  // network has been quiet: reset backoff
+  }
+  const sim::Time when =
+      std::max(now + config_.initial_delay, last_run_ + hold_);
+  hold_ = std::min(hold_ * 2, config_.max_wait);
+  return when;
+}
+
+}  // namespace f2t::routing

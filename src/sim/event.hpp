@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace f2t::sim {
+
+/// Identifier of a scheduled event; used to cancel pending events.
+/// Ids are unique within one Scheduler and never reused.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// A scheduled callback. Events with the same timestamp fire in
+/// scheduling order (FIFO), which keeps runs deterministic.
+struct Event {
+  Time at = 0;
+  EventId id = kInvalidEventId;
+  std::function<void()> action;
+
+  /// Min-heap ordering: earliest time first, then earliest id.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace f2t::sim

@@ -1,0 +1,53 @@
+#include "sim/logging.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace f2t::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t == kNever) return "never";
+  const bool neg = t < 0;
+  const std::int64_t v = neg ? -t : t;
+  const char* sign = neg ? "-" : "";
+  if (v < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "ns", sign, v);
+  } else if (v < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%s%.4gus", sign, static_cast<double>(v) / 1e3);
+  } else if (v < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%s%.4gms", sign, static_cast<double>(v) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.4gs", sign, static_cast<double>(v) / 1e9);
+  }
+  return buf;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, Time now, const std::string& message) {
+    std::fprintf(stderr, "[%s %s] %s\n", level_name(level),
+                 format_time(now).c_str(), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, Time now, const std::string& message) {
+  if (enabled(level)) sink_(level, now, message);
+}
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace f2t::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace f2t::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger with an injectable sink.
+///
+/// The simulator owns one Logger; components hold a reference. Tests and
+/// benches either silence it (default threshold kWarn) or redirect the sink
+/// to capture diagnostics. No global state: two simulations in one process
+/// do not interfere.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, Time, const std::string&)>;
+
+  Logger();
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+  void set_sink(Sink sink);
+  bool enabled(LogLevel level) const { return level >= threshold_; }
+
+  void log(LogLevel level, Time now, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+
+ private:
+  LogLevel threshold_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace f2t::sim
+
+/// Log with lazy message construction: the stream expression is evaluated
+/// only if the level is enabled.
+#define F2T_LOG(logger, level, now, expr)                     \
+  do {                                                        \
+    if ((logger).enabled(level)) {                            \
+      std::ostringstream f2t_log_os_;                         \
+      f2t_log_os_ << expr;                                    \
+      (logger).log((level), (now), f2t_log_os_.str());        \
+    }                                                         \
+  } while (0)

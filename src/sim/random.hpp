@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace f2t::sim {
+
+/// Deterministic random source used everywhere in the simulator.
+///
+/// A thin wrapper over mt19937_64 with the distributions the reproduction
+/// needs. Log-normal samplers are parameterised by *median* and sigma —
+/// the form used by the DCN measurement studies the paper cites ([1], [25])
+/// — rather than by the underlying normal's mean, which is error-prone.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal sample with the given median (= exp(mu)) and sigma.
+  double lognormal_median(double median, double sigma);
+
+  /// Picks a uniformly random index in [0, n).
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle (deterministic given the seed).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[static_cast<std::size_t>(
+                              uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    }
+  }
+
+  /// Derives an independent child RNG; used to give each traffic source
+  /// its own stream so adding one source does not perturb the others.
+  Random fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace f2t::sim

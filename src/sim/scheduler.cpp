@@ -1,0 +1,64 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace f2t::sim {
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Scheduler::schedule_at: empty action");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Only remember ids that could still be in the heap.
+  if (id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_count_ > 0) {
+    --live_count_;
+  }
+}
+
+void Scheduler::drop_cancelled_head() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+Time Scheduler::next_event_time() {
+  drop_cancelled_head();
+  return queue_.empty() ? kNever : queue_.top().at;
+}
+
+bool Scheduler::step(Time until) {
+  drop_cancelled_head();
+  if (queue_.empty() || queue_.top().at > until) return false;
+  // Move the action out before popping; the action may schedule/cancel.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  --live_count_;
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::size_t Scheduler::run(Time until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  if (until != kNever && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace f2t::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace f2t::sim {
+
+/// Deterministic discrete-event scheduler.
+///
+/// A binary min-heap ordered by (time, sequence) guarantees that two runs
+/// with the same inputs execute events in the same order. Cancellation is
+/// lazy: cancelled ids are remembered and skipped when popped, which keeps
+/// schedule/cancel O(log n) without heap surgery.
+class Scheduler {
+ public:
+  /// Current simulated time. Advances only while running events.
+  Time now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (>= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// Schedules `action` to run `delay` after the current time.
+  EventId schedule_after(Time delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id
+  /// is a harmless no-op (the common pattern for one-shot timers).
+  void cancel(EventId id);
+
+  /// Runs events until the queue drains or the optional horizon is hit.
+  /// Returns the number of events executed.
+  std::size_t run(Time until = kNever);
+
+  /// Runs exactly one event if any is pending before `until`.
+  bool step(Time until = kNever);
+
+  /// True if any non-cancelled event is pending.
+  bool has_pending() const { return live_count_ > 0; }
+
+  /// Time of the next live event, or kNever.
+  Time next_event_time();
+
+  std::size_t executed_count() const { return executed_; }
+
+ private:
+  void drop_cancelled_head();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace f2t::sim

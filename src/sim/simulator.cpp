@@ -1,0 +1,5 @@
+#include "sim/simulator.hpp"
+
+// Simulator is header-only glue; this translation unit exists so the
+// target has a stable home for future out-of-line additions.
+namespace f2t::sim {}

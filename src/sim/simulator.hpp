@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/logging.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace f2t::sim {
+
+/// Bundle of the per-run simulation services: clock+event queue, RNG and
+/// logger. Every network object holds a Simulator& — there is no global
+/// simulation state, so independent simulations can coexist in one process
+/// (the test suite relies on this heavily).
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : random_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  Random& random() { return random_; }
+  Logger& logger() { return logger_; }
+
+  Time now() const { return scheduler_.now(); }
+
+  EventId at(Time when, std::function<void()> action) {
+    return scheduler_.schedule_at(when, std::move(action));
+  }
+  EventId after(Time delay, std::function<void()> action) {
+    return scheduler_.schedule_after(delay, std::move(action));
+  }
+  void cancel(EventId id) { scheduler_.cancel(id); }
+
+  /// Runs until the horizon (or queue exhaustion with the default).
+  std::size_t run(Time until = kNever) { return scheduler_.run(until); }
+
+ private:
+  Scheduler scheduler_;
+  Random random_;
+  Logger logger_;
+};
+
+}  // namespace f2t::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace f2t::sim {
+
+/// Simulated time in integer nanoseconds since simulation start.
+///
+/// A plain strong-ish alias is used instead of std::chrono so that event
+/// timestamps are trivially comparable, hashable and printable; helper
+/// constructors below keep call sites readable (`millis(60)` etc.).
+using Time = std::int64_t;
+
+inline constexpr Time kNever = INT64_MAX;
+
+constexpr Time nanos(std::int64_t n) { return n; }
+constexpr Time micros(std::int64_t u) { return u * 1'000; }
+constexpr Time millis(std::int64_t m) { return m * 1'000'000; }
+constexpr Time seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Fractional-second constructor for configuration code; rounds to ns.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Renders a time as a human-readable string with an adaptive unit,
+/// e.g. "272.847ms" or "60us". Used by logs and benchmark tables.
+std::string format_time(Time t);
+
+}  // namespace f2t::sim

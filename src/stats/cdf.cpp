@@ -1,0 +1,84 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::stats {
+
+void Cdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::min() {
+  if (empty()) throw std::logic_error("Cdf::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() {
+  if (empty()) throw std::logic_error("Cdf::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (empty()) return 0.0;
+  double sum = 0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) {
+  if (empty()) throw std::logic_error("Cdf::quantile: empty");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Cdf::quantile: q out of [0,1]");
+  }
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double Cdf::fraction_above(double x) {
+  if (empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_at_or_below(double x) { return 1.0 - fraction_above(x); }
+
+std::vector<Cdf::Point> Cdf::tail_points(double from,
+                                         std::size_t max_points) {
+  ensure_sorted();
+  std::vector<Point> out;
+  const auto begin =
+      std::upper_bound(samples_.begin(), samples_.end(), from);
+  const std::size_t n = static_cast<std::size_t>(samples_.end() - begin);
+  if (n == 0) return out;
+  const std::size_t stride =
+      max_points == 0 ? 1 : std::max<std::size_t>(1, n / max_points);
+  const double total = static_cast<double>(samples_.size());
+  for (std::size_t i = 0; i < n; i += stride) {
+    const std::size_t index =
+        static_cast<std::size_t>(begin - samples_.begin()) + i;
+    out.push_back(Point{samples_[index],
+                        static_cast<double>(index + 1) / total});
+  }
+  // Always include the largest sample so the tail endpoint is visible.
+  if (out.back().value != samples_.back()) {
+    out.push_back(Point{samples_.back(), 1.0});
+  }
+  return out;
+}
+
+}  // namespace f2t::stats

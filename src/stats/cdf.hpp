@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+namespace f2t::stats {
+
+/// Empirical distribution over double samples: quantiles, tail fractions
+/// and CDF points — used for the completion-time CDF of Fig 6(b).
+class Cdf {
+ public:
+  void add(double sample) { samples_.push_back(sample); sorted_ = false; }
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min();
+  double max();
+  double mean() const;
+
+  /// Quantile q in [0, 1] (nearest-rank).
+  double quantile(double q);
+
+  /// Fraction of samples strictly greater than x.
+  double fraction_above(double x);
+  /// Fraction of samples less than or equal to x.
+  double fraction_at_or_below(double x);
+
+  struct Point {
+    double value;
+    double cumulative;  ///< fraction of samples <= value
+  };
+
+  /// CDF restricted to samples > `from`, downsampled to at most
+  /// `max_points` points (always keeping the largest sample).
+  std::vector<Point> tail_points(double from, std::size_t max_points);
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace f2t::stats

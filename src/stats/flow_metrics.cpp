@@ -1,0 +1,46 @@
+#include "stats/flow_metrics.hpp"
+
+#include <stdexcept>
+
+namespace f2t::stats {
+
+std::optional<ConnectivityLoss> find_connectivity_loss(
+    const std::vector<sim::Time>& arrivals, sim::Time fail_time,
+    sim::Time min_gap) {
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] < arrivals[i - 1]) {
+      throw std::invalid_argument("find_connectivity_loss: unsorted arrivals");
+    }
+    const sim::Time gap = arrivals[i] - arrivals[i - 1];
+    if (gap >= min_gap && arrivals[i] > fail_time) {
+      return ConnectivityLoss{arrivals[i - 1], arrivals[i]};
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t packets_lost(std::uint64_t sent, std::uint64_t received) {
+  return sent >= received ? sent - received : 0;
+}
+
+sim::Time throughput_collapse_duration(const ThroughputMeter& meter,
+                                       sim::Time baseline_from,
+                                       sim::Time fail_time, sim::Time until,
+                                       double fraction) {
+  const double baseline = meter.mean_mbps(baseline_from, fail_time);
+  if (baseline <= 0.0) return 0;
+  const double threshold = baseline * fraction;
+  sim::Time collapsed = 0;
+  bool seen_collapse = false;
+  for (const auto& bin : meter.series(fail_time, until)) {
+    if (bin.mbps < threshold) {
+      collapsed += meter.bin_width();
+      seen_collapse = true;
+    } else if (seen_collapse) {
+      break;  // recovery: first healthy bin after the collapse run
+    }
+  }
+  return collapsed;
+}
+
+}  // namespace f2t::stats

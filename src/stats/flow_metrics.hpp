@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace f2t::stats {
+
+/// The failure-induced connectivity gap in a constant-rate packet stream,
+/// measured exactly as the paper does (Table III): the interval between
+/// the last packet that arrived before the outage and the first packet
+/// that arrived after it.
+struct ConnectivityLoss {
+  sim::Time gap_start = 0;  ///< arrival time of the last pre-gap packet
+  sim::Time gap_end = 0;    ///< arrival time of the first post-gap packet
+
+  sim::Time duration() const { return gap_end - gap_start; }
+};
+
+/// Finds the first inter-arrival gap larger than `min_gap` that ends after
+/// `fail_time`, in a sorted arrival-time sequence. Returns nullopt when no
+/// such gap exists (i.e. the stream never stalled — what F²Tree achieves
+/// once detection is instantaneous).
+std::optional<ConnectivityLoss> find_connectivity_loss(
+    const std::vector<sim::Time>& arrivals, sim::Time fail_time,
+    sim::Time min_gap = sim::millis(5));
+
+/// Number of consecutive sequence numbers missing from a UDP stream:
+/// sent - received, assuming the sender counted `sent` packets.
+std::uint64_t packets_lost(std::uint64_t sent, std::uint64_t received);
+
+/// Duration of TCP throughput collapse per the paper's definition: the
+/// total width of bins (after `fail_time`) whose rate is below
+/// `fraction` of the mean rate measured over [baseline_from, fail_time).
+/// Counting stops at the first healthy bin after the collapse run ends.
+sim::Time throughput_collapse_duration(const ThroughputMeter& meter,
+                                       sim::Time baseline_from,
+                                       sim::Time fail_time, sim::Time until,
+                                       double fraction = 0.5);
+
+}  // namespace f2t::stats

@@ -1,0 +1,95 @@
+#include "stats/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace f2t::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c]
+         << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+namespace {
+void print_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) os << ",";
+    // Quote and escape embedded quotes, RFC 4180 style.
+    os << '"';
+    for (const char ch : cells[c]) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  }
+  os << "\n";
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  print_csv_row(os, headers_);
+  for (const auto& row : rows_) print_csv_row(os, row);
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  print_csv(os);
+  return os.str();
+}
+
+void print_heading(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace f2t::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace f2t::stats {
+
+/// Plain ASCII table printer used by the benchmark harnesses to emit the
+/// paper's tables and figure series in a stable, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats numbers for cells.
+  static std::string num(double value, int precision = 2);
+  static std::string percent(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  /// Machine-readable rendering (quoted CSV) for piping into plotters.
+  void print_csv(std::ostream& os) const;
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section heading for benchmark output.
+void print_heading(std::ostream& os, const std::string& title);
+
+}  // namespace f2t::stats

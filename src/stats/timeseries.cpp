@@ -1,0 +1,78 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::stats {
+
+ThroughputMeter::ThroughputMeter(sim::Time bin_width) : bin_width_(bin_width) {
+  if (bin_width <= 0) {
+    throw std::invalid_argument("ThroughputMeter: bin width must be > 0");
+  }
+}
+
+void ThroughputMeter::add(sim::Time at, std::uint64_t bytes) {
+  if (at < 0) throw std::invalid_argument("ThroughputMeter: negative time");
+  const std::size_t index = static_cast<std::size_t>(at / bin_width_);
+  if (bins_.size() <= index) bins_.resize(index + 1, 0);
+  bins_[index] += bytes;
+  total_ += bytes;
+}
+
+std::vector<ThroughputMeter::Bin> ThroughputMeter::series(sim::Time from,
+                                                          sim::Time to) const {
+  std::vector<Bin> out;
+  if (to <= from) return out;
+  const std::size_t first = static_cast<std::size_t>(from / bin_width_);
+  const std::size_t last = static_cast<std::size_t>((to - 1) / bin_width_);
+  out.reserve(last - first + 1);
+  for (std::size_t i = first; i <= last; ++i) {
+    const std::uint64_t bytes = i < bins_.size() ? bins_[i] : 0;
+    const double mbps = static_cast<double>(bytes) * 8.0 /
+                        (sim::to_seconds(bin_width_) * 1e6);
+    out.push_back(Bin{static_cast<sim::Time>(i) * bin_width_, bytes, mbps});
+  }
+  return out;
+}
+
+std::uint64_t ThroughputMeter::bytes_in(sim::Time from, sim::Time to) const {
+  std::uint64_t sum = 0;
+  for (const Bin& bin : series(from, to)) sum += bin.bytes;
+  return sum;
+}
+
+double ThroughputMeter::mean_mbps(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(bytes_in(from, to)) * 8.0 /
+         (sim::to_seconds(to - from) * 1e6);
+}
+
+double TimeSeries::mean(sim::Time from, sim::Time to) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.at >= from && p.at < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<TimeSeries::Point> TimeSeries::downsample(
+    std::size_t max_points) const {
+  if (points_.size() <= max_points || max_points == 0) return points_;
+  std::vector<Point> out;
+  const std::size_t stride =
+      (points_.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < points_.size(); i += stride) {
+    const std::size_t end = std::min(i + stride, points_.size());
+    double sum = 0;
+    for (std::size_t j = i; j < end; ++j) sum += points_[j].value;
+    out.push_back(Point{points_[i].at,
+                        sum / static_cast<double>(end - i)});
+  }
+  return out;
+}
+
+}  // namespace f2t::stats

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace f2t::stats {
+
+/// Accumulates (time, bytes) samples into fixed-width bins and renders a
+/// throughput time series — the instrument behind the paper's Fig 2
+/// (20 ms bins by default, matching the paper's plotting granularity).
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(sim::Time bin_width = sim::millis(20));
+
+  void add(sim::Time at, std::uint64_t bytes);
+
+  struct Bin {
+    sim::Time start;       ///< bin start time
+    std::uint64_t bytes;   ///< bytes in bin
+    double mbps;           ///< average rate over the bin
+  };
+
+  /// Series over [from, to): includes empty (zero) bins.
+  std::vector<Bin> series(sim::Time from, sim::Time to) const;
+
+  /// Mean rate over [from, to).
+  double mean_mbps(sim::Time from, sim::Time to) const;
+
+  std::uint64_t total_bytes() const { return total_; }
+  sim::Time bin_width() const { return bin_width_; }
+
+ private:
+  std::uint64_t bytes_in(sim::Time from, sim::Time to) const;
+
+  sim::Time bin_width_;
+  std::vector<std::uint64_t> bins_;  ///< bin index -> bytes
+  std::uint64_t total_ = 0;
+};
+
+/// Generic (time, value) series recorder for e2e-delay plots (Fig 5).
+class TimeSeries {
+ public:
+  struct Point {
+    sim::Time at;
+    double value;
+  };
+
+  void add(sim::Time at, double value) { points_.push_back({at, value}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Average value of points with at in [from, to); 0 if none.
+  double mean(sim::Time from, sim::Time to) const;
+
+  /// Downsamples to at most `max_points` by averaging fixed-width windows;
+  /// used when printing series for plots.
+  std::vector<Point> downsample(std::size_t max_points) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace f2t::stats

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "net/ipv4.hpp"
+
+namespace f2t::topo {
+
+/// Production-DCN address plan, mirroring Fig 3(d) of the paper.
+///
+/// Every switch bundles its ports into one L3 interface with a single
+/// address; hosts under ToR t live in 10.11.t.0/24, which the ToR
+/// redistributes into the routing protocol. All host subnets are covered
+/// by the DCN prefix 10.11.0.0/16, and the F²Tree backup routes use the
+/// chain of successively *shorter* prefixes that still cover it
+/// (10.11.0.0/16, 10.10.0.0/15, 10.8.0.0/14, 10.0.0.0/13 …) so that the
+/// rightward across link is always preferred over the leftward one during
+/// fast rerouting — the loop-avoidance trick of §II-B.
+struct AddressPlan {
+  static net::Ipv4Addr tor_router_id(int t) {
+    return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 1);
+  }
+  static net::Prefix tor_subnet(int t) {
+    return net::Prefix(net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 0),
+                       24);
+  }
+  static net::Ipv4Addr host_addr(int t, int h) {
+    return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t),
+                         static_cast<std::uint8_t>(10 + h));
+  }
+  static net::Ipv4Addr agg_router_id(int a) {
+    return net::Ipv4Addr(10, 12, static_cast<std::uint8_t>(a), 1);
+  }
+  static net::Ipv4Addr core_router_id(int c) {
+    return net::Ipv4Addr(10, 13, static_cast<std::uint8_t>(c), 1);
+  }
+
+  /// 10.11.0.0/16 — "prefix of all hosts" (Table II row 3).
+  static net::Prefix dcn_prefix() {
+    return net::Prefix(net::Ipv4Addr(10, 11, 0, 0), 16);
+  }
+
+  /// The i-th backup prefix (i = 0 is the DCN prefix itself; larger i are
+  /// successively shorter covers: /15, /14, /13 ...). Valid for i in [0, 3].
+  static net::Prefix backup_prefix(int i) {
+    return net::Prefix(net::Ipv4Addr(10, 11, 0, 0), 16 - i);
+  }
+
+  /// Upper bounds imposed by the dotted-quad plan.
+  static constexpr int kMaxTors = 256;
+  static constexpr int kMaxAggs = 256;
+  static constexpr int kMaxCores = 256;
+  static constexpr int kMaxHostsPerTor = 240;
+};
+
+}  // namespace f2t::topo

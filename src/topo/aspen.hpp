@@ -1,0 +1,28 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Aspen tree <f, 0> (Walraed-Sullivan et al., CoNEXT'13) — the paper's
+/// Table I comparator. Fault tolerance f is added between the aggregation
+/// and core layers only: every aggregation switch connects to each of its
+/// cores with f+1 parallel links, paid for by supporting 1/(f+1) of the
+/// fat tree's pods (N/(f+1) pods, N²/(4(f+1)) cores; nodes N³/(4(f+1))).
+///
+/// In this library the duplicated links yield immediate backup via plain
+/// ECMP (no new protocol needed for the simulator's purposes), which
+/// exposes exactly the paper's critique: core<->agg failures recover
+/// fast, but ToR<->agg downward failures still wait for the control
+/// plane — unlike F²Tree, which protects every layer for two rewired
+/// links and no lost pods beyond one ToR each.
+struct AspenOptions {
+  int ports = 8;  ///< N: even; N % (2*(f+1)) == 0
+  int fault_tolerance = 1;  ///< f >= 1
+  int hosts_per_tor = -1;   ///< default N/2
+};
+
+BuiltTopology build_aspen_tree(net::Network& network,
+                               const AspenOptions& options);
+
+}  // namespace f2t::topo

@@ -1,0 +1,55 @@
+#include "topo/backup_routes.hpp"
+
+#include <stdexcept>
+
+#include "topo/addressing.hpp"
+
+namespace f2t::topo {
+
+BackupRouteReport install_backup_routes(BuiltTopology& topo) {
+  BackupRouteReport report;
+  for (auto& [sw_const, ring] : topo.rings) {
+    auto* sw = const_cast<net::L3Switch*>(sw_const);
+    // Rightward ports first so that, for any number of ring ports, the
+    // longest backup prefix (and therefore fast-reroute preference) is
+    // "forward rightward while a rightward link works".
+    std::vector<net::PortId> ordered = ring.right;
+    ordered.insert(ordered.end(), ring.left.begin(), ring.left.end());
+    if (static_cast<int>(ordered.size()) > 4) {
+      throw std::logic_error("backup routes: ring wider than 4 unsupported");
+    }
+    int i = 0;
+    for (const net::PortId port : ordered) {
+      sw->fib().install(routing::Route{
+          AddressPlan::backup_prefix(i),
+          {routing::NextHop{port, sw->port(port).peer_addr}},
+          routing::RouteSource::kStatic});
+      ++i;
+      ++report.routes_installed;
+    }
+    if (i > 0) ++report.switches_configured;
+  }
+  return report;
+}
+
+BackupRouteReport install_backup_routes_equal_length(BuiltTopology& topo) {
+  BackupRouteReport report;
+  for (auto& [sw_const, ring] : topo.rings) {
+    auto* sw = const_cast<net::L3Switch*>(sw_const);
+    std::vector<routing::NextHop> hops;
+    for (const net::PortId port : ring.right) {
+      hops.push_back(routing::NextHop{port, sw->port(port).peer_addr});
+    }
+    for (const net::PortId port : ring.left) {
+      hops.push_back(routing::NextHop{port, sw->port(port).peer_addr});
+    }
+    if (hops.empty()) continue;
+    sw->fib().install(routing::Route{AddressPlan::dcn_prefix(), hops,
+                                     routing::RouteSource::kStatic});
+    ++report.switches_configured;
+    report.routes_installed += static_cast<int>(hops.size());
+  }
+  return report;
+}
+
+}  // namespace f2t::topo

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Result of configuring the F²Tree backup static routes.
+struct BackupRouteReport {
+  int switches_configured = 0;
+  int routes_installed = 0;
+};
+
+/// Installs the paper's backup static routes (Table II rows 3-4) on every
+/// switch that owns across-ring ports.
+///
+/// Per switch the ordered list of across ports — rightward first, then
+/// leftward (then right+2/left-2 for 4-wide rings) — receives static
+/// routes to successively *shorter* covers of the DCN prefix:
+/// 10.11.0.0/16 via the right neighbour, 10.10.0.0/15 via the left one.
+/// The asymmetric lengths make rightward forwarding win whenever the right
+/// across link is alive, which prevents the transient loop of Fig 3(b)
+/// when two adjacent switches lose their downlinks simultaneously.
+///
+/// The routes are static and local: they are never redistributed into the
+/// routing protocol, and being shorter than every protocol-computed route
+/// they sit dormant in the FIB until longest-prefix match falls through —
+/// i.e. until all next hops of the more-specific routes are detected down.
+BackupRouteReport install_backup_routes(BuiltTopology& topo);
+
+/// Ablation variant: installs both backup routes under the *same* prefix
+/// (the DCN /16) as one 2-way ECMP group, discarding the paper's
+/// careful asymmetry. Used to demonstrate the forwarding loop the paper's
+/// design avoids.
+BackupRouteReport install_backup_routes_equal_length(BuiltTopology& topo);
+
+}  // namespace f2t::topo

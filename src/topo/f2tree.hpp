@@ -1,0 +1,34 @@
+#pragma once
+
+#include "topo/fattree.hpp"
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Rewire-mode F²Tree: the paper's prototype transformation applied to a
+/// standard fat tree of the same switch/host population (Fig 1(b)).
+/// This is the variant used in the testbed and emulation comparisons.
+inline BuiltTopology build_f2tree(net::Network& network, int ports,
+                                  int ring_width = 2) {
+  FatTreeOptions options;
+  options.ports = ports;
+  options.f2_rewire = true;
+  options.ring_width = ring_width;
+  return build_fat_tree(network, options);
+}
+
+/// Options for the from-scratch F²Tree of Table I.
+struct F2TreeScaledOptions {
+  int ports = 6;           ///< N: even, >= 6 (N=4 degenerates to 1 ToR/pod)
+  int hosts_per_tor = -1;  ///< default N/2
+};
+
+/// Scale-mode F²Tree: built to the Table I geometry — N−2 pods of N/2
+/// aggregation and N/2−1 ToR switches, N/2 core groups of N/2−1 cores,
+/// rings everywhere — so that switch and host counts match the paper's
+/// closed forms ((5/4)N² − (7/2)N + 2 switches, N³/4 − N² + N hosts),
+/// which the test suite verifies against core/scalability.
+BuiltTopology build_f2tree_scaled(net::Network& network,
+                                  const F2TreeScaledOptions& options);
+
+}  // namespace f2t::topo

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Options for the 3-layer fat-tree family.
+///
+/// With `f2_rewire` false this is the standard k-ary fat tree of [16]:
+/// N pods of N/2 aggregation + N/2 ToR switches, (N/2)² cores, N/2 hosts
+/// per ToR. With `f2_rewire` true the builder applies the paper's
+/// transformation to the *same* switch and host population (the testbed
+/// prototype of Fig 1(b)): every aggregation switch frees one downward and
+/// one upward port (two of each for ring_width 4) and the freed ports form
+/// per-pod and per-core-group rings of across links.
+struct FatTreeOptions {
+  int ports = 4;        ///< N: even, >= 4
+  bool f2_rewire = false;
+  int ring_width = 2;   ///< 2 or 4 across links per switch (if rewired)
+  int hosts_per_tor = -1;  ///< default N/2
+};
+
+BuiltTopology build_fat_tree(net::Network& network,
+                             const FatTreeOptions& options);
+
+}  // namespace f2t::topo

@@ -1,0 +1,67 @@
+#include "topo/graphviz.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace f2t::topo {
+
+namespace {
+
+void write_rank(std::ostream& os, const char* label,
+                const std::vector<net::L3Switch*>& switches) {
+  if (switches.empty()) return;
+  os << "  { rank=same; // " << label << "\n";
+  for (const auto* sw : switches) {
+    os << "    \"" << sw->name() << "\";\n";
+  }
+  os << "  }\n";
+}
+
+}  // namespace
+
+void write_graphviz(std::ostream& os, const BuiltTopology& topo,
+                    const GraphvizOptions& options) {
+  os << "graph " << (topo.f2 ? "f2tree" : "dcn") << " {\n";
+  os << "  node [shape=box, fontsize=10];\n";
+  write_rank(os, "core", topo.cores);
+  write_rank(os, "aggregation", topo.aggs);
+  write_rank(os, "tor", topo.tors);
+
+  // Collect across links for highlighting.
+  std::unordered_set<const net::Link*> across;
+  if (options.highlight_across_links) {
+    for (const auto& [sw, ring] : topo.rings) {
+      for (const auto port : ring.right) across.insert(sw->port(port).link);
+      for (const auto port : ring.left) across.insert(sw->port(port).link);
+    }
+  }
+
+  for (const net::Link* link :
+       const_cast<net::Network*>(topo.network)->links()) {
+    const net::Node* a = link->end_a().node;
+    const net::Node* b = link->end_b().node;
+    const bool host_link =
+        dynamic_cast<const net::L3Switch*>(a) == nullptr ||
+        dynamic_cast<const net::L3Switch*>(b) == nullptr;
+    if (host_link && !options.include_hosts) continue;
+    os << "  \"" << a->name() << "\" -- \"" << b->name() << "\"";
+    if (across.contains(link)) {
+      os << " [style=dashed, color=red, penwidth=2]";
+    } else if (host_link) {
+      os << " [color=gray]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_graphviz(const BuiltTopology& topo,
+                        const GraphvizOptions& options) {
+  std::ostringstream os;
+  write_graphviz(os, topo, options);
+  return os.str();
+}
+
+}  // namespace f2t::topo

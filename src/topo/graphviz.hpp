@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Emits a Graphviz dot rendering of a built topology: tiers as ranks,
+/// across links highlighted (dashed red), hosts optional. Handy for
+/// eyeballing a rewiring before trusting it with an experiment:
+///
+///   topology_report f2 8 --dot | dot -Tsvg > f2tree.svg
+struct GraphvizOptions {
+  bool include_hosts = false;
+  bool highlight_across_links = true;
+};
+
+void write_graphviz(std::ostream& os, const BuiltTopology& topo,
+                    const GraphvizOptions& options = {});
+
+std::string to_graphviz(const BuiltTopology& topo,
+                        const GraphvizOptions& options = {});
+
+}  // namespace f2t::topo

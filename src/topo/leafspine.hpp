@@ -1,0 +1,24 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Two-layer Leaf-Spine (§V, Fig 7(a)).
+///
+/// With N-port homogeneous switches: N/2 spines, N leaves; each leaf uses
+/// N/2 uplinks (one per spine) and N/2 host ports. With `f2_rewire`, each
+/// spine frees two downward ports (links to leaves 2s and 2s+1 are
+/// removed, so every leaf loses exactly one uplink) and the spines form a
+/// ring of across links; backup routes then give spines immediate backup
+/// for their downward links, which original Leaf-Spine lacks entirely.
+struct LeafSpineOptions {
+  int ports = 4;  ///< N: even, >= 4
+  bool f2_rewire = false;
+  int hosts_per_leaf = -1;  ///< default N/2
+};
+
+BuiltTopology build_leaf_spine(net::Network& network,
+                               const LeafSpineOptions& options);
+
+}  // namespace f2t::topo

@@ -1,0 +1,68 @@
+#include "topo/topology.hpp"
+
+#include <sstream>
+
+namespace f2t::topo {
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kF2Tree: return "f2tree";
+    case TopologyKind::kLeafSpine: return "leaf-spine";
+    case TopologyKind::kVl2: return "vl2";
+  }
+  return "?";
+}
+
+std::vector<net::L3Switch*> BuiltTopology::all_switches() const {
+  std::vector<net::L3Switch*> out;
+  out.reserve(tors.size() + aggs.size() + cores.size());
+  out.insert(out.end(), tors.begin(), tors.end());
+  out.insert(out.end(), aggs.begin(), aggs.end());
+  out.insert(out.end(), cores.begin(), cores.end());
+  return out;
+}
+
+int BuiltTopology::pod_of_agg(const net::L3Switch* sw) const {
+  for (std::size_t p = 0; p < pods.size(); ++p) {
+    for (const net::L3Switch* agg : pods[p].aggs) {
+      if (agg == sw) return static_cast<int>(p);
+    }
+  }
+  return -1;
+}
+
+int BuiltTopology::index_in_pod(const net::L3Switch* sw) const {
+  for (const Pod& pod : pods) {
+    for (std::size_t i = 0; i < pod.aggs.size(); ++i) {
+      if (pod.aggs[i] == sw) return static_cast<int>(i);
+    }
+  }
+  // Also allow core-group lookup: index within its group.
+  for (const auto& group : core_groups) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i] == sw) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+net::L3Switch* BuiltTopology::tor_of_host(const net::Host* host) const {
+  for (const auto& [tor, tor_hosts] : hosts_of_tor) {
+    for (const net::Host* h : tor_hosts) {
+      if (h == host) return const_cast<net::L3Switch*>(tor);
+    }
+  }
+  return nullptr;
+}
+
+std::string BuiltTopology::summary() const {
+  std::ostringstream os;
+  os << topology_kind_name(kind) << " N=" << ports << (f2 ? " (F2)" : "")
+     << ": " << tors.size() << " ToR, " << aggs.size() << " agg, "
+     << cores.size() << " core, " << hosts.size() << " hosts, "
+     << network->link_count() << " links";
+  return os.str();
+}
+
+}  // namespace f2t::topo

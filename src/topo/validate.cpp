@@ -1,0 +1,131 @@
+#include "topo/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace f2t::topo {
+
+namespace {
+
+void check_port_budgets(const BuiltTopology& topo,
+                        std::vector<std::string>& out) {
+  for (const net::L3Switch* sw : topo.all_switches()) {
+    if (static_cast<int>(sw->port_count()) > topo.ports) {
+      std::ostringstream os;
+      os << sw->name() << " uses " << sw->port_count() << " ports > N="
+         << topo.ports;
+      out.push_back(os.str());
+    }
+  }
+}
+
+void check_hosts(const BuiltTopology& topo, std::vector<std::string>& out) {
+  for (const net::Host* host : topo.hosts) {
+    if (host->port_count() != 1) {
+      out.push_back(host->name() + " is not single-homed");
+    }
+  }
+  std::size_t mapped = 0;
+  for (const auto& [tor, hosts] : topo.hosts_of_tor) mapped += hosts.size();
+  if (mapped != topo.hosts.size()) {
+    out.push_back("hosts_of_tor does not cover all hosts");
+  }
+}
+
+void check_connected(const BuiltTopology& topo,
+                     std::vector<std::string>& out) {
+  if (topo.network->node_count() == 0) {
+    out.push_back("empty network");
+    return;
+  }
+  std::unordered_set<const net::Node*> visited;
+  std::vector<const net::Node*> frontier{&topo.network->node(0)};
+  visited.insert(frontier.front());
+  while (!frontier.empty()) {
+    const net::Node* u = frontier.back();
+    frontier.pop_back();
+    for (const auto& port : u->ports()) {
+      if (port.link == nullptr) continue;
+      const net::Node* v = port.link->peer_of(*u).node;
+      if (visited.insert(v).second) frontier.push_back(v);
+    }
+  }
+  if (visited.size() != topo.network->node_count()) {
+    std::ostringstream os;
+    os << "graph not connected: reached " << visited.size() << " of "
+       << topo.network->node_count() << " nodes";
+    out.push_back(os.str());
+  }
+}
+
+void check_rings(const BuiltTopology& topo, std::vector<std::string>& out) {
+  if (!topo.f2) {
+    if (!topo.rings.empty()) out.push_back("non-F2 topology has ring ports");
+    return;
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(topo.ring_width) / 2;
+  for (const auto& [sw, ring] : topo.rings) {
+    if (ring.right.size() != expected || ring.left.size() != expected) {
+      std::ostringstream os;
+      os << sw->name() << " ring ports right=" << ring.right.size()
+         << " left=" << ring.left.size() << ", expected " << expected
+         << " each";
+      out.push_back(os.str());
+    }
+    // Across links must join switches of the same tier.
+    const bool is_agg =
+        std::find(topo.aggs.begin(), topo.aggs.end(), sw) != topo.aggs.end();
+    const bool is_core =
+        std::find(topo.cores.begin(), topo.cores.end(), sw) !=
+        topo.cores.end();
+    auto same_tier = [&](net::PortId p) {
+      const auto& info = sw->port(p);
+      const auto* peer =
+          dynamic_cast<const net::L3Switch*>(&topo.network->node(info.peer_node));
+      if (peer == nullptr) return false;
+      const bool peer_agg = std::find(topo.aggs.begin(), topo.aggs.end(),
+                                      peer) != topo.aggs.end();
+      const bool peer_core = std::find(topo.cores.begin(), topo.cores.end(),
+                                       peer) != topo.cores.end();
+      return (is_agg && peer_agg) || (is_core && peer_core);
+    };
+    for (const net::PortId p : ring.right) {
+      if (!same_tier(p)) {
+        out.push_back(sw->name() + " right across port leaves its tier");
+      }
+    }
+    for (const net::PortId p : ring.left) {
+      if (!same_tier(p)) {
+        out.push_back(sw->name() + " left across port leaves its tier");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_topology(const BuiltTopology& topo) {
+  std::vector<std::string> out;
+  if (topo.network == nullptr) {
+    out.push_back("topology has no network");
+    return out;
+  }
+  check_port_budgets(topo, out);
+  check_hosts(topo, out);
+  check_connected(topo, out);
+  check_rings(topo, out);
+  return out;
+}
+
+void validate_topology_or_throw(const BuiltTopology& topo) {
+  const auto violations = validate_topology(topo);
+  if (violations.empty()) return;
+  std::string message = "topology invalid:";
+  for (const auto& v : violations) message += "\n  - " + v;
+  throw std::logic_error(message);
+}
+
+}  // namespace f2t::topo

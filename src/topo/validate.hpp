@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// Structural invariant checks over a built topology. Returns a list of
+/// human-readable violations (empty = valid). Checked invariants:
+///   - no switch uses more ports than the homogeneous port count N
+///     (hosts count against ToR ports);
+///   - every host hangs off exactly one ToR;
+///   - the physical graph is connected;
+///   - in F² variants, every ring member has matching right/left across
+///     ports, the across links close into rings, and ring ports connect
+///     switches of the same tier.
+std::vector<std::string> validate_topology(const BuiltTopology& topo);
+
+/// Convenience: throws std::logic_error listing all violations.
+void validate_topology_or_throw(const BuiltTopology& topo);
+
+}  // namespace f2t::topo

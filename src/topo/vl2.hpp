@@ -1,0 +1,26 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace f2t::topo {
+
+/// VL2-style Clos (§V, Fig 7(b)), homogenised to N-port switches as in
+/// Table I: N/2 intermediate switches, N aggregation switches (full
+/// bipartite with the intermediates), N²/4 ToRs each dual-homed to two
+/// adjacent aggregation switches, 2 hosts per ToR (N²/2 nodes).
+///
+/// The intermediate<->aggregation mesh already provides immediate backup
+/// links downward (every ToR is reachable via its second aggregation
+/// switch at equal cost), but aggregation->ToR downward links have none —
+/// so the F² rewiring applies at the aggregation layer only: each
+/// aggregation switch frees one downward and one upward port and the
+/// aggregation switches form one ring of across links.
+struct Vl2Options {
+  int ports = 4;  ///< N: even, >= 4
+  bool f2_rewire = false;
+  int hosts_per_tor = 2;
+};
+
+BuiltTopology build_vl2(net::Network& network, const Vl2Options& options);
+
+}  // namespace f2t::topo

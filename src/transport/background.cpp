@@ -1,0 +1,69 @@
+#include "transport/background.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::transport {
+
+BackgroundTraffic::BackgroundTraffic(std::vector<HostStack*> stacks,
+                                     sim::Random rng,
+                                     const BackgroundTrafficOptions& options)
+    : stacks_(std::move(stacks)), rng_(std::move(rng)), options_(options) {
+  if (stacks_.size() < 2) {
+    throw std::invalid_argument("background traffic: need >= 2 hosts");
+  }
+  sim_ = &stacks_.front()->simulator();
+}
+
+void BackgroundTraffic::start() {
+  sim_->at(options_.start, [this] { schedule_next(); });
+}
+
+void BackgroundTraffic::schedule_next() {
+  if (sim_->now() >= options_.stop) return;
+  launch_flow();
+  const double gap_s = rng_.lognormal_median(options_.interarrival_median_s,
+                                             options_.interarrival_sigma);
+  sim_->after(std::max<sim::Time>(sim::from_seconds(gap_s), sim::micros(10)),
+              [this] { schedule_next(); });
+}
+
+void BackgroundTraffic::launch_flow() {
+  const std::size_t src = rng_.index(stacks_.size());
+  std::size_t dst = rng_.index(stacks_.size());
+  while (dst == src) dst = rng_.index(stacks_.size());
+
+  const std::uint64_t bytes = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          rng_.lognormal_median(options_.size_median_bytes,
+                                options_.size_sigma)),
+      1, options_.max_flow_bytes);
+
+  const std::size_t index = records_.size();
+  records_.push_back(FlowRecord{sim_->now(), sim::kNever, bytes});
+
+  connections_.push_back(
+      TcpConnection::open(*stacks_[src], *stacks_[dst], options_.tcp));
+  TcpEndpoint& sender = connections_.back()->a();
+  TcpEndpoint& receiver = connections_.back()->b();
+  receiver.set_on_delivered([this, index, bytes](std::uint64_t delivered) {
+    if (delivered >= bytes && !records_[index].is_complete()) {
+      records_[index].finished = sim_->now();
+    }
+  });
+  sender.write(bytes);
+}
+
+std::size_t BackgroundTraffic::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const FlowRecord& r) { return r.is_complete(); }));
+}
+
+std::uint64_t BackgroundTraffic::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const FlowRecord& r : records_) total += r.bytes;
+  return total;
+}
+
+}  // namespace f2t::transport

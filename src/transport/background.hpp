@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "transport/tcp.hpp"
+
+namespace f2t::transport {
+
+/// Background traffic generator with log-normal flow sizes and
+/// inter-arrival times, the distribution shapes the paper derives from
+/// production-DCN measurements ([25], Benson et al. IMC'10). Flows run
+/// between uniformly random host pairs over TCP.
+struct BackgroundTrafficOptions {
+  double size_median_bytes = 20'000;
+  double size_sigma = 1.5;
+  double interarrival_median_s = 0.28;  ///< ~1500 flows in 600 s
+  double interarrival_sigma = 1.0;
+  std::uint64_t max_flow_bytes = 10'000'000;  ///< tail clamp
+  sim::Time start = 0;
+  sim::Time stop = sim::seconds(600);
+  TcpConfig tcp;
+};
+
+class BackgroundTraffic {
+ public:
+  struct FlowRecord {
+    sim::Time started = 0;
+    sim::Time finished = sim::kNever;
+    std::uint64_t bytes = 0;
+
+    bool is_complete() const { return finished != sim::kNever; }
+  };
+
+  BackgroundTraffic(std::vector<HostStack*> stacks, sim::Random rng,
+                    const BackgroundTrafficOptions& options);
+
+  void start();
+
+  const std::vector<FlowRecord>& flows() const { return records_; }
+  std::size_t completed_count() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  void schedule_next();
+  void launch_flow();
+
+  std::vector<HostStack*> stacks_;
+  sim::Random rng_;
+  BackgroundTrafficOptions options_;
+  std::vector<FlowRecord> records_;
+  std::vector<std::unique_ptr<TcpConnection>> connections_;
+  sim::Simulator* sim_ = nullptr;
+};
+
+}  // namespace f2t::transport

@@ -1,0 +1,121 @@
+#include "transport/partition_aggregate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2t::transport {
+
+PartitionAggregateApp::PartitionAggregateApp(
+    std::vector<HostStack*> stacks, sim::Random rng,
+    const PartitionAggregateOptions& options)
+    : stacks_(std::move(stacks)), rng_(std::move(rng)), options_(options) {
+  if (static_cast<int>(stacks_.size()) < options_.fanout + 1) {
+    throw std::invalid_argument(
+        "partition-aggregate: not enough hosts for the fanout");
+  }
+  sim_ = &stacks_.front()->simulator();
+}
+
+void PartitionAggregateApp::start() {
+  sim_->at(options_.start, [this] { schedule_next(); });
+}
+
+void PartitionAggregateApp::schedule_next() {
+  if (sim_->now() >= options_.stop) return;
+  launch_request();
+  const double mean_s = sim::to_seconds(options_.mean_interarrival);
+  const sim::Time gap = sim::from_seconds(rng_.exponential(mean_s));
+  sim_->after(std::max<sim::Time>(gap, sim::micros(1)),
+              [this] { schedule_next(); });
+}
+
+void PartitionAggregateApp::launch_request() {
+  // Pick a requester and `fanout` distinct workers.
+  const std::size_t requester_idx = rng_.index(stacks_.size());
+  HostStack* requester = stacks_[requester_idx];
+  std::vector<HostStack*> workers;
+  while (static_cast<int>(workers.size()) < options_.fanout) {
+    const std::size_t w = rng_.index(stacks_.size());
+    if (w == requester_idx) continue;
+    HostStack* candidate = stacks_[w];
+    if (std::find(workers.begin(), workers.end(), candidate) !=
+        workers.end()) {
+      continue;
+    }
+    workers.push_back(candidate);
+  }
+
+  const std::size_t record_index = records_.size();
+  records_.push_back(RequestRecord{sim_->now(), sim::kNever});
+
+  auto pending = std::make_unique<Pending>();
+  Pending* p = pending.get();
+  p->record_index = record_index;
+  p->responses_remaining = options_.fanout;
+  p->exchanges.resize(static_cast<std::size_t>(options_.fanout));
+
+  for (int i = 0; i < options_.fanout; ++i) {
+    Exchange& exchange = p->exchanges[static_cast<std::size_t>(i)];
+    exchange.connection =
+        TcpConnection::open(*requester, *workers[static_cast<std::size_t>(i)],
+                            options_.tcp);
+    TcpEndpoint& req_side = exchange.connection->a();
+    TcpEndpoint& wrk_side = exchange.connection->b();
+
+    wrk_side.set_on_delivered(
+        [this, p, i, &wrk_side](std::uint64_t delivered) {
+          Exchange& ex = p->exchanges[static_cast<std::size_t>(i)];
+          if (!ex.worker_responded && delivered >= options_.request_bytes) {
+            ex.worker_responded = true;
+            wrk_side.write(options_.response_bytes);
+          }
+        });
+    req_side.set_on_delivered([this, p, i](std::uint64_t delivered) {
+      Exchange& ex = p->exchanges[static_cast<std::size_t>(i)];
+      if (!ex.response_done && delivered >= options_.response_bytes) {
+        ex.response_done = true;
+        if (--p->responses_remaining == 0) {
+          records_[p->record_index].completed = sim_->now();
+        }
+      }
+    });
+    req_side.write(options_.request_bytes);
+  }
+  pending_.push_back(std::move(pending));
+}
+
+double PartitionAggregateApp::deadline_miss_ratio(sim::Time horizon) const {
+  if (records_.empty()) return 0.0;
+  std::size_t missed = 0;
+  std::size_t counted = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.is_complete()) {
+      ++counted;
+      if (r.completion_time() > options_.deadline) ++missed;
+    } else if (horizon - r.issued > options_.deadline) {
+      // Outstanding past the deadline: definitely missed.
+      ++counted;
+      ++missed;
+    }
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(missed) /
+                            static_cast<double>(counted);
+}
+
+std::vector<sim::Time> PartitionAggregateApp::completion_times() const {
+  std::vector<sim::Time> out;
+  for (const RequestRecord& r : records_) {
+    if (r.is_complete()) out.push_back(r.completion_time());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PartitionAggregateApp::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const RequestRecord& r) { return r.is_complete(); }));
+}
+
+}  // namespace f2t::transport

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "transport/tcp.hpp"
+
+namespace f2t::transport {
+
+/// Partition-aggregate workload (§IV-B): randomly chosen requesters each
+/// send a small TCP request to `fanout` other hosts and wait for a 2 KB
+/// response from every worker; the request completes when all responses
+/// are in. The paper's metric is the fraction of requests whose completion
+/// time exceeds a 250 ms deadline.
+struct PartitionAggregateOptions {
+  int fanout = 8;
+  std::uint32_t request_bytes = 100;
+  std::uint32_t response_bytes = 2048;
+  sim::Time deadline = sim::millis(250);
+  sim::Time start = 0;
+  sim::Time stop = sim::seconds(600);
+  sim::Time mean_interarrival = sim::millis(200);  ///< ~3000 over 600 s
+  TcpConfig tcp;
+};
+
+class PartitionAggregateApp {
+ public:
+  struct RequestRecord {
+    sim::Time issued = 0;
+    sim::Time completed = sim::kNever;  ///< kNever = still outstanding
+
+    bool is_complete() const { return completed != sim::kNever; }
+    sim::Time completion_time() const { return completed - issued; }
+  };
+
+  PartitionAggregateApp(std::vector<HostStack*> stacks, sim::Random rng,
+                        const PartitionAggregateOptions& options);
+
+  void start();
+
+  const std::vector<RequestRecord>& requests() const { return records_; }
+
+  /// Requests that missed the deadline: completed late, or still
+  /// outstanding longer than the deadline by `horizon`.
+  double deadline_miss_ratio(sim::Time horizon) const;
+
+  /// Completion times of completed requests, sorted ascending.
+  std::vector<sim::Time> completion_times() const;
+
+  std::size_t issued_count() const { return records_.size(); }
+  std::size_t completed_count() const;
+
+ private:
+  struct Exchange {
+    std::unique_ptr<TcpConnection> connection;
+    bool worker_responded = false;
+    bool response_done = false;
+  };
+  struct Pending {
+    std::size_t record_index = 0;
+    int responses_remaining = 0;
+    std::vector<Exchange> exchanges;
+  };
+
+  void schedule_next();
+  void launch_request();
+
+  std::vector<HostStack*> stacks_;
+  sim::Random rng_;
+  PartitionAggregateOptions options_;
+  std::vector<RequestRecord> records_;
+  std::vector<std::unique_ptr<Pending>> pending_;
+  sim::Simulator* sim_ = nullptr;
+};
+
+}  // namespace f2t::transport

@@ -1,0 +1,302 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace f2t::transport {
+
+TcpEndpoint::TcpEndpoint(HostStack& stack, net::Ipv4Addr remote,
+                         std::uint16_t remote_port, std::uint16_t local_port,
+                         const TcpConfig& config)
+    : stack_(stack),
+      remote_(remote),
+      remote_port_(remote_port),
+      local_port_(local_port),
+      config_(config),
+      cwnd_(std::uint64_t{config.initial_cwnd_segments} * config.mss),
+      ssthresh_(~std::uint64_t{0}),
+      rto_(config.initial_rto) {
+  stack_.register_tcp(remote_, remote_port_, local_port_, this);
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  disarm_rto();
+  if (delack_timer_ != sim::kInvalidEventId) {
+    stack_.simulator().cancel(delack_timer_);
+  }
+  stack_.unregister_tcp(remote_, remote_port_, local_port_);
+}
+
+void TcpEndpoint::write(std::uint64_t bytes) {
+  write_total_ += bytes;
+  try_send();
+}
+
+void TcpEndpoint::try_send() {
+  while (snd_nxt_ < write_total_ && flight() < cwnd_) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mss, write_total_ - snd_nxt_));
+    // Anything below the recovery watermark is a go-back-N retransmission.
+    send_segment(snd_nxt_, len, /*retransmission=*/snd_nxt_ < recover_point_);
+    snd_nxt_ += len;
+  }
+}
+
+void TcpEndpoint::send_segment(std::uint64_t seq, std::uint32_t len,
+                               bool retransmission) {
+  // Data segments piggyback the cumulative ACK.
+  unacked_segments_ = 0;
+  if (delack_timer_ != sim::kInvalidEventId) {
+    stack_.simulator().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+  }
+  net::Packet packet;
+  packet.dst = remote_;
+  packet.proto = net::Protocol::kTcp;
+  packet.sport = local_port_;
+  packet.dport = remote_port_;
+  packet.size_bytes = len + net::kTcpHeaderBytes;
+  packet.tcp.seq = seq;
+  packet.tcp.ack = rcv_nxt_;
+  packet.tcp.payload_bytes = len;
+  packet.tcp.flags = net::TcpFlags::kAck;
+  ++stats_.segments_sent;
+  if (retransmission) {
+    ++stats_.segments_retransmitted;
+    // Karn's rule: an in-progress RTT sample is poisoned by retransmission.
+    sample_pending_ = false;
+  } else if (!sample_pending_) {
+    sample_pending_ = true;
+    sample_end_seq_ = seq + len;
+    sample_sent_at_ = stack_.simulator().now();
+  }
+  if (rto_timer_ == sim::kInvalidEventId) arm_rto();
+  stack_.send(std::move(packet));
+}
+
+void TcpEndpoint::send_ack() {
+  unacked_segments_ = 0;
+  if (delack_timer_ != sim::kInvalidEventId) {
+    stack_.simulator().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+  }
+  net::Packet packet;
+  packet.dst = remote_;
+  packet.proto = net::Protocol::kTcp;
+  packet.sport = local_port_;
+  packet.dport = remote_port_;
+  packet.size_bytes = net::kTcpHeaderBytes;
+  packet.tcp.seq = snd_nxt_;
+  packet.tcp.ack = rcv_nxt_;
+  packet.tcp.payload_bytes = 0;
+  packet.tcp.flags = net::TcpFlags::kAck;
+  if (echo_ce_) packet.tcp.flags |= net::TcpFlags::kEce;
+  stack_.send(std::move(packet));
+}
+
+void TcpEndpoint::on_packet(const net::Packet& packet) {
+  if (packet.tcp.flags & net::TcpFlags::kAck) {
+    handle_ack(packet.tcp.ack,
+               (packet.tcp.flags & net::TcpFlags::kEce) != 0);
+  }
+  if (packet.tcp.payload_bytes > 0) {
+    handle_data(packet.tcp.seq, packet.tcp.payload_bytes, packet.ecn_ce);
+  }
+}
+
+void TcpEndpoint::dctcp_on_ack(std::uint64_t newly, bool ece) {
+  dctcp_acked_ += newly;
+  if (ece) dctcp_marked_ += newly;
+  if (snd_una_ < dctcp_window_end_) return;  // window still in flight
+  // One observation window completed: fold the marked fraction into
+  // alpha and apply the proportional cut (DCTCP's control law).
+  if (dctcp_acked_ > 0) {
+    const double fraction = static_cast<double>(dctcp_marked_) /
+                            static_cast<double>(dctcp_acked_);
+    dctcp_alpha_ = (1.0 - config_.dctcp_g) * dctcp_alpha_ +
+                   config_.dctcp_g * fraction;
+    if (dctcp_marked_ > 0) {
+      const auto reduced = static_cast<std::uint64_t>(
+          static_cast<double>(cwnd_) * (1.0 - dctcp_alpha_ / 2.0));
+      cwnd_ = std::max<std::uint64_t>(reduced, config_.mss);
+      ssthresh_ = cwnd_;
+    }
+  }
+  dctcp_acked_ = 0;
+  dctcp_marked_ = 0;
+  dctcp_window_end_ = snd_nxt_;
+}
+
+void TcpEndpoint::handle_ack(std::uint64_t ack, bool ece) {
+  ++stats_.acks_received;
+  if (ack > snd_nxt_) ack = snd_nxt_;  // never ack unsent data
+  if (ack > snd_una_) {
+    const std::uint64_t newly = ack - snd_una_;
+    snd_una_ = ack;
+    stats_.bytes_acked = snd_una_;
+    dupacks_ = 0;
+    // RTT sample (only if untouched by retransmission).
+    if (sample_pending_ && ack >= sample_end_seq_) {
+      sample_pending_ = false;
+      take_rtt_sample(stack_.simulator().now() - sample_sent_at_);
+    }
+    // Forward progress clears RTO backoff (as in Linux): recompute from
+    // the smoothed estimate.
+    rto_ = rtt_seeded_
+               ? std::clamp(srtt_ + 4 * rttvar_, config_.min_rto,
+                            config_.max_rto)
+               : config_.initial_rto;
+    if (config_.dctcp) dctcp_on_ack(newly, ece);
+    if (in_fast_recovery_) {
+      if (snd_una_ >= recover_point_) {
+        in_fast_recovery_ = false;
+        cwnd_ = ssthresh_;  // deflate
+      } else {
+        // NewReno partial ACK: the next hole is lost too; retransmit it
+        // immediately instead of waiting for three more dupacks.
+        const std::uint32_t len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(config_.mss, write_total_ - snd_una_));
+        if (len > 0) send_segment(snd_una_, len, /*retransmission=*/true);
+      }
+    } else if (flight() + newly + config_.mss >= cwnd_) {
+      // Congestion window validation (RFC 2861): only grow when the app
+      // actually filled the window. An app-limited paced flow keeps a
+      // small window, which is what makes the paper's post-failure RTO
+      // behaviour (no dupack feedback, 200 ms stall) reproduce.
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += std::min<std::uint64_t>(newly, config_.mss);  // slow start
+      } else {
+        // Congestion avoidance: ~one MSS per cwnd of acked data.
+        cwnd_ += std::max<std::uint64_t>(
+            1, (std::uint64_t{config_.mss} * config_.mss) / cwnd_);
+      }
+    }
+    if (snd_una_ == snd_nxt_) {
+      disarm_rto();
+    } else {
+      arm_rto();  // restart for remaining flight
+    }
+    if (on_acked_) on_acked_(snd_una_);
+    try_send();
+    return;
+  }
+  // Duplicate ACK (only meaningful while data is in flight).
+  if (snd_nxt_ > snd_una_) {
+    ++dupacks_;
+    if (!in_fast_recovery_ && dupacks_ == config_.dupack_threshold) {
+      ++stats_.fast_retransmits;
+      ssthresh_ = std::max<std::uint64_t>(flight() / 2,
+                                          2 * std::uint64_t{config_.mss});
+      recover_point_ = snd_nxt_;  // NewReno recovery ends here
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(config_.mss, write_total_ - snd_una_));
+      send_segment(snd_una_, len, /*retransmission=*/true);
+      cwnd_ = ssthresh_ + 3 * std::uint64_t{config_.mss};
+      in_fast_recovery_ = true;
+    } else if (in_fast_recovery_) {
+      cwnd_ += config_.mss;  // window inflation per extra dupack
+      try_send();
+    }
+  }
+}
+
+void TcpEndpoint::handle_data(std::uint64_t seq, std::uint32_t len, bool ce) {
+  if (config_.dctcp) echo_ce_ = ce;  // per-packet echo, DCTCP style
+  const std::uint64_t end = seq + len;
+  bool in_order = false;
+  if (end > rcv_nxt_) {
+    if (seq <= rcv_nxt_) {
+      in_order = true;
+      rcv_nxt_ = end;
+      // Drain any contiguous out-of-order blocks.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && it->first <= rcv_nxt_) {
+        rcv_nxt_ = std::max(rcv_nxt_, it->second);
+        it = ooo_.erase(it);
+      }
+    } else {
+      auto [it, inserted] = ooo_.try_emplace(seq, end);
+      if (!inserted) it->second = std::max(it->second, end);
+    }
+  }
+  stats_.bytes_delivered = rcv_nxt_;
+  if (config_.delayed_ack <= 0 || !in_order || !ooo_.empty()) {
+    // Immediate ACK: delack disabled, or this is dupack/gap feedback.
+    send_ack();
+  } else if (++unacked_segments_ >= 2) {
+    send_ack();
+  } else if (delack_timer_ == sim::kInvalidEventId) {
+    delack_timer_ = stack_.simulator().after(config_.delayed_ack, [this] {
+      delack_timer_ = sim::kInvalidEventId;
+      if (unacked_segments_ > 0) send_ack();
+    });
+  }
+  if (on_delivered_) on_delivered_(rcv_nxt_);
+}
+
+void TcpEndpoint::take_rtt_sample(sim::Time sample) {
+  if (!rtt_seeded_) {
+    rtt_seeded_ = true;
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const sim::Time err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+void TcpEndpoint::arm_rto() {
+  disarm_rto();
+  rto_timer_ = stack_.simulator().after(rto_, [this] {
+    rto_timer_ = sim::kInvalidEventId;
+    on_rto();
+  });
+}
+
+void TcpEndpoint::disarm_rto() {
+  if (rto_timer_ != sim::kInvalidEventId) {
+    stack_.simulator().cancel(rto_timer_);
+    rto_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpEndpoint::on_rto() {
+  if (snd_una_ == snd_nxt_) return;  // nothing outstanding
+  ++stats_.rto_fires;
+  F2T_LOG(stack_.simulator().logger(), sim::LogLevel::kDebug,
+          stack_.simulator().now(),
+          stack_.host().name() << " TCP RTO, rto=" << sim::format_time(rto_));
+  // Exponential backoff and go-back-N loss response: everything beyond
+  // snd_una is presumed lost and will be resent as cwnd allows (the
+  // receiver's out-of-order buffer makes duplicates cheap).
+  rto_ = std::min(rto_ * 2, config_.max_rto);
+  ssthresh_ =
+      std::max<std::uint64_t>(flight() / 2, 2 * std::uint64_t{config_.mss});
+  cwnd_ = config_.mss;
+  in_fast_recovery_ = false;
+  dupacks_ = 0;
+  recover_point_ = std::max(recover_point_, snd_nxt_);
+  snd_nxt_ = snd_una_;
+  sample_pending_ = false;
+  try_send();
+  arm_rto();
+}
+
+TcpConnection::TcpConnection(HostStack& a, HostStack& b, std::uint16_t a_port,
+                             std::uint16_t b_port, const TcpConfig& config)
+    : a_(std::make_unique<TcpEndpoint>(a, b.host().addr(), b_port, a_port,
+                                       config)),
+      b_(std::make_unique<TcpEndpoint>(b, a.host().addr(), a_port, b_port,
+                                       config)) {}
+
+std::unique_ptr<TcpConnection> TcpConnection::open(HostStack& a, HostStack& b,
+                                                   const TcpConfig& config) {
+  const std::uint16_t a_port = a.alloc_port();
+  const std::uint16_t b_port = b.alloc_port();
+  return std::make_unique<TcpConnection>(a, b, a_port, b_port, config);
+}
+
+}  // namespace f2t::transport

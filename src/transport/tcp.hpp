@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "transport/app.hpp"
+
+namespace f2t::transport {
+
+/// TCP model parameters. The 200 ms initial/minimum RTO is the Linux
+/// default the paper's analysis hinges on (Table III discussion: a lost
+/// retransmission doubles it to 400 ms, explaining fat tree's 700 ms
+/// throughput collapse vs F²Tree's 220 ms).
+struct TcpConfig {
+  std::uint32_t mss = net::kMss;
+  sim::Time initial_rto = sim::millis(200);
+  sim::Time min_rto = sim::millis(200);
+  sim::Time max_rto = sim::seconds(60);
+  std::uint32_t initial_cwnd_segments = 10;
+  std::uint32_t dupack_threshold = 3;
+  /// Delayed-ACK timeout; zero (the default) ACKs every segment
+  /// immediately. When enabled, in-order data is ACKed every second
+  /// segment or after this delay, whichever first; out-of-order data is
+  /// always ACKed immediately (it is dupack feedback).
+  sim::Time delayed_ack = 0;
+  /// DCTCP mode (the congestion control of the paper's workload source
+  /// [24]): receivers echo per-packet CE marks, senders keep an EWMA of
+  /// the marked fraction and cut cwnd proportionally once per window.
+  /// Requires ECN marking on the links (LinkParams::ecn_threshold).
+  bool dctcp = false;
+  double dctcp_g = 1.0 / 16.0;  ///< EWMA gain
+};
+
+/// One side of a TCP connection.
+///
+/// The model is byte-counting Reno: cumulative ACKs, slow start and AIMD,
+/// RFC 6298 RTT estimation with Karn's rule, exponential RTO backoff,
+/// fast retransmit on three duplicate ACKs, immediate ACKs (no delayed
+/// ACK), and out-of-order buffering at the receiver. Connection setup and
+/// teardown are elided (endpoints are created established): the paper's
+/// recovery effects live entirely in the data-transfer machinery.
+class TcpEndpoint {
+ public:
+  struct Stats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_retransmitted = 0;
+    std::uint64_t rto_fires = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t bytes_acked = 0;
+    std::uint64_t bytes_delivered = 0;  ///< in-order bytes received
+  };
+
+  /// Fired when in-order delivery advances; argument is total delivered.
+  using DeliveredFn = std::function<void(std::uint64_t)>;
+  /// Fired when cumulative ACK advances; argument is total acked.
+  using AckedFn = std::function<void(std::uint64_t)>;
+
+  TcpEndpoint(HostStack& stack, net::Ipv4Addr remote,
+              std::uint16_t remote_port, std::uint16_t local_port,
+              const TcpConfig& config);
+  ~TcpEndpoint();
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  /// Appends bytes to the application send stream.
+  void write(std::uint64_t bytes);
+
+  void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+  void set_on_acked(AckedFn fn) { on_acked_ = std::move(fn); }
+
+  /// Packet arrival from the host stack.
+  void on_packet(const net::Packet& packet);
+
+  const Stats& stats() const { return stats_; }
+  double dctcp_alpha() const { return dctcp_alpha_; }
+  std::uint64_t bytes_written() const { return write_total_; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+  std::uint64_t bytes_delivered() const { return rcv_nxt_; }
+  sim::Time current_rto() const { return rto_; }
+  std::uint64_t cwnd_bytes() const { return cwnd_; }
+
+  net::Ipv4Addr remote() const { return remote_; }
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seq, std::uint32_t len, bool retransmission);
+  void send_ack();
+  void handle_ack(std::uint64_t ack, bool ece);
+  void handle_data(std::uint64_t seq, std::uint32_t len, bool ce);
+  void dctcp_on_ack(std::uint64_t newly, bool ece);
+  void arm_rto();
+  void disarm_rto();
+  void on_rto();
+  void take_rtt_sample(sim::Time sample);
+  std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
+
+  HostStack& stack_;
+  net::Ipv4Addr remote_;
+  std::uint16_t remote_port_;
+  std::uint16_t local_port_;
+  TcpConfig config_;
+
+  // --- sender state -----------------------------------------------------
+  std::uint64_t write_total_ = 0;  ///< bytes the app asked to send
+  std::uint64_t snd_una_ = 0;      ///< oldest unacked byte
+  std::uint64_t snd_nxt_ = 0;      ///< next byte to transmit
+  std::uint64_t cwnd_ = 0;         ///< congestion window (bytes)
+  std::uint64_t ssthresh_ = 0;
+  std::uint32_t dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::uint64_t recover_point_ = 0;  ///< NewReno recovery / go-back-N mark
+  sim::EventId rto_timer_ = sim::kInvalidEventId;
+  sim::Time rto_;
+  bool rtt_seeded_ = false;
+  sim::Time srtt_ = 0;
+  sim::Time rttvar_ = 0;
+  // RTT sample in progress (Karn's rule: invalidated by retransmission).
+  std::uint64_t sample_end_seq_ = 0;
+  sim::Time sample_sent_at_ = 0;
+  bool sample_pending_ = false;
+
+  // --- receiver state -----------------------------------------------------
+  std::uint64_t rcv_nxt_ = 0;  ///< next expected byte == bytes delivered
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< seq -> end (exclusive)
+  sim::EventId delack_timer_ = sim::kInvalidEventId;
+  std::uint32_t unacked_segments_ = 0;
+  bool echo_ce_ = false;  ///< receiver: CE seen on the segment being acked
+
+  // --- DCTCP sender state -------------------------------------------------
+  double dctcp_alpha_ = 0.0;
+  std::uint64_t dctcp_acked_ = 0;
+  std::uint64_t dctcp_marked_ = 0;
+  std::uint64_t dctcp_window_end_ = 0;
+
+  DeliveredFn on_delivered_;
+  AckedFn on_acked_;
+  Stats stats_;
+};
+
+/// A pre-established TCP connection between two hosts: a matched pair of
+/// endpoints. Destroying the connection unregisters both sides.
+class TcpConnection {
+ public:
+  TcpConnection(HostStack& a, HostStack& b, std::uint16_t a_port,
+                std::uint16_t b_port, const TcpConfig& config);
+
+  /// Convenience: allocates ephemeral ports on both sides.
+  static std::unique_ptr<TcpConnection> open(HostStack& a, HostStack& b,
+                                             const TcpConfig& config = {});
+
+  TcpEndpoint& a() { return *a_; }
+  TcpEndpoint& b() { return *b_; }
+
+ private:
+  std::unique_ptr<TcpEndpoint> a_;
+  std::unique_ptr<TcpEndpoint> b_;
+};
+
+}  // namespace f2t::transport

@@ -1,0 +1,53 @@
+#include "transport/udp_app.hpp"
+
+#include "transport/tcp.hpp"
+
+namespace f2t::transport {
+
+UdpCbrSender::UdpCbrSender(HostStack& stack, net::Ipv4Addr dst,
+                           const Options& options)
+    : stack_(stack), dst_(dst), options_(options) {}
+
+void UdpCbrSender::start() {
+  stack_.simulator().at(options_.start, [this] { tick(); });
+}
+
+void UdpCbrSender::tick() {
+  const sim::Time now = stack_.simulator().now();
+  if (now >= options_.stop) return;
+  net::Packet packet;
+  packet.dst = dst_;
+  packet.proto = net::Protocol::kUdp;
+  packet.sport = options_.sport;
+  packet.dport = options_.dport;
+  packet.size_bytes = options_.payload_bytes + net::kUdpHeaderBytes;
+  packet.udp_seq = static_cast<std::uint32_t>(sent_);
+  ++sent_;
+  stack_.send(std::move(packet));
+  stack_.simulator().after(options_.interval, [this] { tick(); });
+}
+
+UdpSink::UdpSink(HostStack& stack, std::uint16_t port) {
+  stack.bind_udp(port, [this, &stack](const net::Packet& packet) {
+    const sim::Time now = stack.simulator().now();
+    arrivals_.push_back(Arrival{now, packet.udp_seq, now - packet.sent_at});
+  });
+}
+
+PacedTcpWriter::PacedTcpWriter(TcpEndpoint& endpoint,
+                               sim::Simulator& simulator,
+                               const Options& options)
+    : endpoint_(endpoint), sim_(simulator), options_(options) {}
+
+void PacedTcpWriter::start() {
+  sim_.at(options_.start, [this] { tick(); });
+}
+
+void PacedTcpWriter::tick() {
+  if (sim_.now() >= options_.stop) return;
+  endpoint_.write(options_.chunk_bytes);
+  written_ += options_.chunk_bytes;
+  sim_.after(options_.interval, [this] { tick(); });
+}
+
+}  // namespace f2t::transport

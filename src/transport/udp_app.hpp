@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/app.hpp"
+
+namespace f2t::transport {
+
+/// Constant-bit-rate UDP sender, as in the paper's probe flows:
+/// one 1448-byte segment every 100 µs by default.
+class UdpCbrSender {
+ public:
+  struct Options {
+    std::uint16_t sport = 9000;
+    std::uint16_t dport = 9000;
+    std::uint32_t payload_bytes = net::kMss;
+    sim::Time interval = sim::micros(100);
+    sim::Time start = 0;
+    sim::Time stop = sim::kNever;  ///< exclusive; kNever = until sim ends
+  };
+
+  UdpCbrSender(HostStack& stack, net::Ipv4Addr dst, const Options& options);
+
+  /// Schedules the first transmission. Must be called once.
+  void start();
+
+  std::uint64_t packets_sent() const { return sent_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void tick();
+
+  HostStack& stack_;
+  net::Ipv4Addr dst_;
+  Options options_;
+  std::uint64_t sent_ = 0;
+};
+
+/// UDP receiver recording per-packet arrival time, sequence number and
+/// one-way delay; the raw material for the paper's connectivity-loss and
+/// end-to-end-delay measurements (Fig 2, Fig 5, Table III).
+class UdpSink {
+ public:
+  struct Arrival {
+    sim::Time at;
+    std::uint64_t seq;
+    sim::Time delay;  ///< one-way, from the sender's stamp
+  };
+
+  UdpSink(HostStack& stack, std::uint16_t port);
+
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  std::uint64_t packets_received() const { return arrivals_.size(); }
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+/// Application-paced TCP writer: appends one MSS to the stream every
+/// interval, reproducing the paper's "send a segment of 1448 bytes every
+/// 100 µs" TCP probe flow.
+class PacedTcpWriter {
+ public:
+  struct Options {
+    std::uint32_t chunk_bytes = net::kMss;
+    sim::Time interval = sim::micros(100);
+    sim::Time start = 0;
+    sim::Time stop = sim::kNever;
+  };
+
+  PacedTcpWriter(TcpEndpoint& endpoint, sim::Simulator& simulator,
+                 const Options& options);
+
+  void start();
+
+  std::uint64_t bytes_written() const { return written_; }
+
+ private:
+  void tick();
+
+  TcpEndpoint& endpoint_;
+  sim::Simulator& sim_;
+  Options options_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace f2t::transport

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t::routing {
+namespace {
+
+core::TestbedConfig central_config() {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kCentral;
+  return config;
+}
+
+TEST(Central, ConvergeInstallsRoutesEverywhere) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 8); },
+                    central_config());
+  bed.converge();
+  for (auto* sw : bed.topo().all_switches()) {
+    for (const auto& [tor, prefix] : bed.topo().subnet_of_tor) {
+      if (tor == sw) continue;
+      const auto hops = sw->fib().lookup(
+          net::Ipv4Addr(prefix.address().value() + 10),
+          [&](net::PortId p) { return sw->port_detected_up(p); });
+      EXPECT_FALSE(hops.empty()) << sw->name() << " -> " << prefix.str();
+    }
+  }
+  EXPECT_EQ(bed.controller().counters().computations, 1u);
+}
+
+TEST(Central, AllPairsReachableAfterConvergence) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 8); },
+                    central_config());
+  bed.converge();
+  const auto& hosts = bed.topo().hosts;
+  for (std::size_t i = 0; i < hosts.size(); i += 5) {
+    const std::size_t j = (i + hosts.size() / 2 + 1) % hosts.size();
+    if (i == j) continue;
+    net::Packet probe;
+    probe.src = hosts[i]->addr();
+    probe.dst = hosts[j]->addr();
+    probe.sport = static_cast<std::uint16_t>(4000 + i);
+    const auto path = failure::trace_route(*hosts[i], *hosts[j], probe);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), hosts[j]);
+  }
+}
+
+TEST(Central, FailureReportTriggersRecomputeAndPush) {
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+      },
+      central_config());
+  bed.converge();
+  auto* sx = bed.topo().pods[0].aggs[0];
+  auto* tor = bed.topo().pods[0].tors[0];
+  net::Link* link = bed.network().find_link(*sx, *tor);
+  ASSERT_NE(link, nullptr);
+  bed.injector().fail_at(*link, sim::millis(10));
+  bed.sim().run(sim::seconds(2));
+  const auto& counters = bed.controller().counters();
+  EXPECT_GE(counters.reports, 2u);  // both endpoints report
+  EXPECT_GE(counters.computations, 2u);
+  EXPECT_GT(counters.fib_pushes, 0u);
+  // The pushed routes avoid the dead link.
+  const auto prefix = bed.topo().subnet_of_tor.at(tor);
+  const auto hops =
+      sx->fib().lookup(net::Ipv4Addr(prefix.address().value() + 10),
+                       [&](net::PortId p) { return sx->port_detected_up(p); });
+  ASSERT_FALSE(hops.empty());
+  for (const auto& nh : hops) EXPECT_NE(sx->port(nh.port).link, link);
+}
+
+/// The §V claim, end-to-end: under a centralized control plane, recovery
+/// without F² costs detection + report + batch + compute + push + FIB
+/// update; with F² it is detection-bound.
+TEST(Central, F2TreeCoversTheControllerWindow) {
+  auto run = [](bool f2) {
+    core::Testbed bed(
+        [f2](net::Network& n) {
+          return f2 ? topo::build_f2tree(n, 8)
+                    : topo::build_fat_tree(n,
+                                           topo::FatTreeOptions{.ports = 8});
+        },
+        central_config());
+    bed.converge();
+    const auto plan =
+        failure::build_condition(bed.topo(), failure::Condition::kC1);
+    EXPECT_TRUE(plan.has_value());
+    transport::UdpSink sink(bed.stack_of(*plan->dst), plan->dport);
+    transport::UdpCbrSender::Options so;
+    so.sport = plan->sport;
+    so.dport = plan->dport;
+    so.stop = sim::seconds(2);
+    transport::UdpCbrSender sender(bed.stack_of(*plan->src),
+                                   plan->dst->addr(), so);
+    sender.start();
+    for (net::Link* link : plan->fail_links) {
+      bed.injector().fail_at(*link, sim::millis(380));
+    }
+    bed.sim().run(sim::seconds(3));
+    std::vector<sim::Time> arrivals;
+    for (const auto& a : sink.arrivals()) arrivals.push_back(a.at);
+    const auto loss = stats::find_connectivity_loss(arrivals, sim::millis(380));
+    return loss ? loss->duration() : sim::Time{0};
+  };
+
+  const sim::Time fat = run(false);
+  const sim::Time f2 = run(true);
+  // detection 60 + report 2 + batch 10 + compute 30 + push 2 + FIB 10.
+  EXPECT_GE(fat, sim::millis(100));
+  EXPECT_LE(fat, sim::millis(130));
+  EXPECT_GE(f2, sim::millis(55));
+  EXPECT_LE(f2, sim::millis(70));
+}
+
+TEST(Central, OspfAccessorThrowsOnCentralPlane) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 4); },
+                    central_config());
+  EXPECT_THROW(bed.ospf_of(*bed.topo().aggs.front()), std::invalid_argument);
+  core::Testbed ospf_bed(
+      [](net::Network& n) { return topo::build_f2tree(n, 4); });
+  EXPECT_THROW(ospf_bed.controller(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace f2t::routing

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t::routing {
+namespace {
+
+TEST(CentralBatching, NearbyReportsCoalesceIntoOneComputation) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kCentral;
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+      },
+      config);
+  bed.converge();
+  // Fail three links within the batch window: one recompute, not three.
+  auto& topo = bed.topo();
+  bed.injector().fail_at(
+      *bed.network().find_link(*topo.pods[0].aggs[0], *topo.pods[0].tors[0]),
+      sim::millis(10));
+  bed.injector().fail_at(
+      *bed.network().find_link(*topo.pods[1].aggs[0], *topo.pods[1].tors[0]),
+      sim::millis(11));
+  bed.injector().fail_at(
+      *bed.network().find_link(*topo.pods[2].aggs[0], *topo.pods[2].tors[0]),
+      sim::millis(12));
+  bed.sim().run(sim::millis(200));
+  // 1 converge + 1 batched recompute.
+  EXPECT_EQ(bed.controller().counters().computations, 2u);
+  EXPECT_GE(bed.controller().counters().reports, 6u);  // both ends x3
+}
+
+TEST(CentralBatching, SpreadReportsTriggerSeparateComputations) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kCentral;
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+      },
+      config);
+  bed.converge();
+  auto& topo = bed.topo();
+  bed.injector().fail_at(
+      *bed.network().find_link(*topo.pods[0].aggs[0], *topo.pods[0].tors[0]),
+      sim::millis(10));
+  bed.injector().fail_at(
+      *bed.network().find_link(*topo.pods[1].aggs[0], *topo.pods[1].tors[0]),
+      sim::millis(500));
+  bed.sim().run(sim::seconds(1));
+  EXPECT_EQ(bed.controller().counters().computations, 3u);  // converge + 2
+}
+
+TEST(PathVectorMrai, RepeatUpdatesToSameNeighborAreGated) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kPathVector;
+  config.path_vector.mrai = sim::millis(400);
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 4});
+      },
+      config);
+  bed.converge();
+  auto& topo = bed.topo();
+  auto* sx = topo.pods[0].aggs[0];
+  net::Link* link = bed.network().find_link(*sx, *topo.pods[0].tors[0]);
+  ASSERT_NE(link, nullptr);
+
+  // Two transitions 100 ms apart (within the MRAI): the updates for the
+  // second transition must wait out the interval.
+  bed.injector().fail_at(*link, sim::millis(10));
+  bed.injector().recover_at(*link, sim::millis(110));
+  bed.sim().run(sim::millis(250));
+  const auto mid = bed.path_vector_of(*sx).counters().updates_sent;
+  bed.sim().run(sim::seconds(2));
+  const auto after = bed.path_vector_of(*sx).counters().updates_sent;
+  EXPECT_GT(after, mid);  // gated updates flushed once the MRAI expired
+}
+
+TEST(PathVectorCounters, WarmStartInstallsOnce) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kPathVector;
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 4});
+      },
+      config);
+  bed.converge();
+  for (auto* sw : bed.topo().all_switches()) {
+    EXPECT_EQ(bed.path_vector_of(*sw).counters().fib_installs, 1u)
+        << sw->name();
+    EXPECT_EQ(bed.path_vector_of(*sw).counters().updates_sent, 0u)
+        << sw->name();  // warm start exchanges no packets
+  }
+}
+
+TEST(CentralPlane, WorksOnF2LeafSpine) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kCentral;
+  core::Testbed bed(
+      [](net::Network& n) {
+        return topo::build_leaf_spine(
+            n, topo::LeafSpineOptions{.ports = 8, .f2_rewire = true});
+      },
+      config);
+  bed.converge();
+  const auto& hosts = bed.topo().hosts;
+  net::Packet probe;
+  probe.src = hosts.front()->addr();
+  probe.dst = hosts.back()->addr();
+  probe.sport = 100;
+  const auto path = failure::trace_route(*hosts.front(), *hosts.back(), probe);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back(), hosts.back());
+}
+
+}  // namespace
+}  // namespace f2t::routing

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "routing/fib.hpp"
+
+namespace f2t::routing {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+Route make(const char* prefix, std::vector<NextHop> hops,
+           RouteSource source = RouteSource::kOspf) {
+  return Route{Prefix::parse(prefix), std::move(hops), source};
+}
+
+Fib::PortUpFn all_up() {
+  return [](net::PortId) { return true; };
+}
+
+TEST(Fib, LongestPrefixWins) {
+  Fib fib;
+  fib.install(make("10.11.0.0/16", {{1, Ipv4Addr(1, 1, 1, 1)}}));
+  fib.install(make("10.11.3.0/24", {{2, Ipv4Addr(2, 2, 2, 2)}}));
+  const auto hops = fib.lookup(Ipv4Addr(10, 11, 3, 9), all_up());
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 2);
+}
+
+TEST(Fib, NoMatchReturnsEmpty) {
+  Fib fib;
+  fib.install(make("10.11.0.0/16", {{1, {}}}));
+  EXPECT_TRUE(fib.lookup(Ipv4Addr(10, 12, 0, 1), all_up()).empty());
+}
+
+TEST(Fib, DeadNextHopFallsThroughToShorterPrefix) {
+  // The F²Tree mechanism: /24 from OSPF dies, /16 static takes over,
+  // then the /15.
+  Fib fib;
+  fib.install(make("10.11.3.0/24", {{0, {}}}, RouteSource::kOspf));
+  fib.install(make("10.11.0.0/16", {{1, {}}}, RouteSource::kStatic));
+  fib.install(make("10.10.0.0/15", {{2, {}}}, RouteSource::kStatic));
+
+  const Ipv4Addr dst(10, 11, 3, 9);
+  auto up_except = [](std::initializer_list<net::PortId> down) {
+    std::vector<net::PortId> dead(down);
+    return [dead](net::PortId p) {
+      return std::find(dead.begin(), dead.end(), p) == dead.end();
+    };
+  };
+
+  auto hops = fib.lookup(dst, up_except({}));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 0);
+
+  hops = fib.lookup(dst, up_except({0}));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 1);
+
+  hops = fib.lookup(dst, up_except({0, 1}));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 2);
+
+  EXPECT_TRUE(fib.lookup(dst, up_except({0, 1, 2})).empty());
+}
+
+TEST(Fib, EcmpFiltersDeadMembers) {
+  Fib fib;
+  fib.install(make("10.11.0.0/24", {{0, {}}, {1, {}}, {2, {}}}));
+  const auto hops = fib.lookup(Ipv4Addr(10, 11, 0, 5),
+                               [](net::PortId p) { return p != 1; });
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].port, 0);
+  EXPECT_EQ(hops[1].port, 2);
+}
+
+TEST(Fib, AdminDistancePrefersConnectedThenStatic) {
+  Fib fib;
+  fib.install(make("10.11.3.0/24", {{5, {}}}, RouteSource::kOspf));
+  fib.install(make("10.11.3.0/24", {{6, {}}}, RouteSource::kConnected));
+  fib.install(make("10.11.3.0/24", {{7, {}}}, RouteSource::kStatic));
+  const auto hops = fib.lookup(Ipv4Addr(10, 11, 3, 1), all_up());
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 6);
+}
+
+TEST(Fib, BestSourceDeadDoesNotFallToWorseSourceSamePrefix) {
+  // Real FIBs install only the best source per prefix; a dead connected
+  // route must not resurrect an OSPF route under the same prefix.
+  Fib fib;
+  fib.install(make("10.11.3.0/24", {{5, {}}}, RouteSource::kOspf));
+  fib.install(make("10.11.3.0/24", {{6, {}}}, RouteSource::kConnected));
+  const auto hops =
+      fib.lookup(Ipv4Addr(10, 11, 3, 1), [](net::PortId p) { return p != 6; });
+  EXPECT_TRUE(hops.empty());
+}
+
+TEST(Fib, ReplaceSourceSwapsAtomically) {
+  Fib fib;
+  fib.install(make("10.11.1.0/24", {{1, {}}}, RouteSource::kOspf));
+  fib.install(make("10.11.2.0/24", {{2, {}}}, RouteSource::kOspf));
+  fib.install(make("10.10.0.0/15", {{9, {}}}, RouteSource::kStatic));
+
+  fib.replace_source(RouteSource::kOspf,
+                     {make("10.11.3.0/24", {{3, {}}})});
+  EXPECT_TRUE(fib.find(Prefix::parse("10.11.1.0/24"), RouteSource::kOspf) ==
+              std::nullopt);
+  EXPECT_TRUE(fib.find(Prefix::parse("10.11.3.0/24"), RouteSource::kOspf)
+                  .has_value());
+  // Statics untouched.
+  EXPECT_TRUE(fib.find(Prefix::parse("10.10.0.0/15"), RouteSource::kStatic)
+                  .has_value());
+  EXPECT_EQ(fib.size(), 2u);
+}
+
+TEST(Fib, InstallReplacesSamePrefixSameSource) {
+  Fib fib;
+  fib.install(make("10.11.1.0/24", {{1, {}}}));
+  fib.install(make("10.11.1.0/24", {{2, {}}}));
+  EXPECT_EQ(fib.size(), 1u);
+  const auto hops = fib.lookup(Ipv4Addr(10, 11, 1, 1), all_up());
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 2);
+}
+
+TEST(Fib, RemoveAndClear) {
+  Fib fib;
+  fib.install(make("10.11.1.0/24", {{1, {}}}));
+  fib.install(make("10.11.2.0/24", {{2, {}}}));
+  fib.remove(Prefix::parse("10.11.1.0/24"), RouteSource::kOspf);
+  EXPECT_EQ(fib.size(), 1u);
+  fib.remove(Prefix::parse("10.11.1.0/24"), RouteSource::kOspf);  // no-op
+  fib.clear_source(RouteSource::kOspf);
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Fib, RejectsEmptyNextHops) {
+  Fib fib;
+  EXPECT_THROW(fib.install(Route{Prefix::parse("10.0.0.0/8"), {}, {}}),
+               std::invalid_argument);
+}
+
+TEST(Fib, NextHopsSortedForDeterministicEcmp) {
+  Fib fib;
+  fib.install(make("10.11.0.0/24", {{3, {}}, {1, {}}, {2, {}}}));
+  const auto hops = fib.lookup(Ipv4Addr(10, 11, 0, 1), all_up());
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].port, 1);
+  EXPECT_EQ(hops[1].port, 2);
+  EXPECT_EQ(hops[2].port, 3);
+}
+
+TEST(Fib, DefaultRouteMatchesEverything) {
+  Fib fib;
+  fib.install(make("0.0.0.0/0", {{7, {}}}));
+  const auto hops = fib.lookup(Ipv4Addr(192, 168, 1, 1), all_up());
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].port, 7);
+}
+
+TEST(Fib, DumpIsSortedAndComplete) {
+  Fib fib;
+  fib.install(make("10.11.2.0/24", {{2, {}}}));
+  fib.install(make("10.11.0.0/16", {{9, {}}}, RouteSource::kStatic));
+  fib.install(make("10.11.1.0/24", {{1, {}}}));
+  const auto routes = fib.dump();
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].prefix.str(), "10.11.0.0/16");
+  EXPECT_EQ(routes[1].prefix.str(), "10.11.1.0/24");
+  EXPECT_EQ(routes[2].prefix.str(), "10.11.2.0/24");
+}
+
+}  // namespace
+}  // namespace f2t::routing

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+
+namespace f2t {
+namespace {
+
+/// The full Fig 4 matrix as a parameterised suite: every Table IV
+/// condition on both 8-port topologies, asserting the recovery *class*
+/// the paper reports (detection-bound ~60 ms vs control-plane-bound
+/// ~270 ms vs not-applicable).
+enum class Expect { kDetectionBound, kControlPlaneBound, kNotApplicable };
+
+struct MatrixCase {
+  const char* name;
+  const char* topo;
+  failure::Condition condition;
+  Expect expect;
+};
+
+class Fig4Matrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(Fig4Matrix, RecoveryClassMatchesPaper) {
+  const auto& param = GetParam();
+  core::RunKnobs knobs;
+  knobs.horizon = sim::seconds(3);
+  const auto r = core::run_udp_condition(
+      core::topology_builder(param.topo, 8), param.condition, knobs);
+  switch (param.expect) {
+    case Expect::kNotApplicable:
+      EXPECT_FALSE(r.ok);
+      break;
+    case Expect::kDetectionBound:
+      ASSERT_TRUE(r.ok);
+      EXPECT_GE(r.connectivity_loss, sim::millis(55)) << r.scenario;
+      EXPECT_LE(r.connectivity_loss, sim::millis(70)) << r.scenario;
+      break;
+    case Expect::kControlPlaneBound:
+      ASSERT_TRUE(r.ok);
+      EXPECT_GE(r.connectivity_loss, sim::millis(200)) << r.scenario;
+      EXPECT_LE(r.connectivity_loss, sim::millis(400)) << r.scenario;
+      break;
+  }
+}
+
+using failure::Condition;
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, Fig4Matrix,
+    ::testing::Values(
+        MatrixCase{"fat_C1", "fat", Condition::kC1, Expect::kControlPlaneBound},
+        MatrixCase{"fat_C2", "fat", Condition::kC2, Expect::kControlPlaneBound},
+        MatrixCase{"fat_C3", "fat", Condition::kC3, Expect::kControlPlaneBound},
+        MatrixCase{"fat_C4", "fat", Condition::kC4, Expect::kControlPlaneBound},
+        MatrixCase{"fat_C5", "fat", Condition::kC5, Expect::kControlPlaneBound},
+        MatrixCase{"fat_C6", "fat", Condition::kC6, Expect::kNotApplicable},
+        MatrixCase{"fat_C7", "fat", Condition::kC7, Expect::kNotApplicable},
+        MatrixCase{"fat_C8", "fat", Condition::kC8, Expect::kNotApplicable},
+        MatrixCase{"f2_C1", "f2", Condition::kC1, Expect::kDetectionBound},
+        MatrixCase{"f2_C2", "f2", Condition::kC2, Expect::kDetectionBound},
+        MatrixCase{"f2_C3", "f2", Condition::kC3, Expect::kDetectionBound},
+        MatrixCase{"f2_C4", "f2", Condition::kC4, Expect::kDetectionBound},
+        MatrixCase{"f2_C5", "f2", Condition::kC5, Expect::kDetectionBound},
+        MatrixCase{"f2_C6", "f2", Condition::kC6, Expect::kDetectionBound},
+        MatrixCase{"f2_C7", "f2", Condition::kC7,
+                   Expect::kControlPlaneBound},
+        MatrixCase{"f2_C8", "f2", Condition::kC8,
+                   Expect::kControlPlaneBound}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace f2t

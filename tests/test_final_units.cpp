@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+#include "routing/ecmp.hpp"
+#include "topo/addressing.hpp"
+#include "topo/aspen.hpp"
+
+namespace f2t {
+namespace {
+
+TEST(EcmpHashStability, SameInputsSameOutput) {
+  net::Packet p;
+  p.src = net::Ipv4Addr(10, 11, 0, 10);
+  p.dst = net::Ipv4Addr(10, 11, 9, 10);
+  p.sport = 1000;
+  p.dport = 9000;
+  const auto h1 = routing::ecmp_hash(p, 7);
+  const auto h2 = routing::ecmp_hash(p, 7);
+  EXPECT_EQ(h1, h2);
+  p.sport = 1001;
+  EXPECT_NE(routing::ecmp_hash(p, 7), h1);  // port-sensitive
+  p.sport = 1000;
+  p.proto = net::Protocol::kTcp;
+  EXPECT_NE(routing::ecmp_hash(p, 7), h1);  // protocol-sensitive
+}
+
+TEST(EcmpSelect, RejectsEmptySet) {
+  net::Packet p;
+  EXPECT_THROW(routing::ecmp_select(p, 1, 0), std::invalid_argument);
+}
+
+TEST(RouteSourceNames, AllNamed) {
+  EXPECT_STREQ(routing::route_source_name(routing::RouteSource::kConnected),
+               "connected");
+  EXPECT_STREQ(routing::route_source_name(routing::RouteSource::kStatic),
+               "static");
+  EXPECT_STREQ(routing::route_source_name(routing::RouteSource::kOspf),
+               "ospf");
+}
+
+TEST(BackupRoutesEdgeCases, NoRingsMeansNothingInstalled) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto topo = topo::build_fat_tree(net, topo::FatTreeOptions{.ports = 4});
+  const auto report = topo::install_backup_routes(topo);
+  EXPECT_EQ(report.switches_configured, 0);
+  EXPECT_EQ(report.routes_installed, 0);
+}
+
+TEST(BackupRoutesEdgeCases, RingWidth4InstallsFourPrefixes) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto topo = topo::build_f2tree(net, 8, 4);
+  topo::install_backup_routes(topo);
+  auto* agg = topo.aggs.front();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(agg->fib()
+                    .find(topo::AddressPlan::backup_prefix(i),
+                          routing::RouteSource::kStatic)
+                    .has_value())
+        << "prefix index " << i;
+  }
+}
+
+TEST(HostsPerTorOverride, BuildersHonourIt) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto topo = topo::build_fat_tree(
+      net, topo::FatTreeOptions{.ports = 8, .hosts_per_tor = 1});
+  EXPECT_EQ(topo.hosts.size(), topo.tors.size());
+}
+
+TEST(LinkParamsValidation, RejectsNonPositiveBandwidth) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& a = net.add_switch("a", net::Ipv4Addr(10, 12, 0, 1));
+  auto& b = net.add_switch("b", net::Ipv4Addr(10, 12, 1, 1));
+  net::LinkParams bad;
+  bad.bandwidth_bps = 0;
+  EXPECT_THROW(net.connect(a, b, bad), std::invalid_argument);
+}
+
+TEST(NodePortApi, PortOfUnknownLinkIsInvalid) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& a = net.add_switch("a", net::Ipv4Addr(10, 12, 0, 1));
+  auto& b = net.add_switch("b", net::Ipv4Addr(10, 12, 1, 1));
+  auto& c = net.add_switch("c", net::Ipv4Addr(10, 12, 2, 1));
+  net::Link& ab = net.connect_default(a, b);
+  net::Link& bc = net.connect_default(b, c);
+  EXPECT_EQ(a.port_of_link(ab), 0);
+  EXPECT_EQ(a.port_of_link(bc), net::kInvalidPort);
+  EXPECT_THROW(ab.peer_of(c), std::logic_error);
+  EXPECT_THROW(ab.direction_from(c), std::logic_error);
+}
+
+TEST(RunnerBuilders, RingWidthAndAspenFForwarded) {
+  {
+    sim::Simulator sim(1);
+    net::Network net(sim);
+    const auto topo = core::topology_builder("f2", 8, 4)(net);
+    EXPECT_EQ(topo.ring_width, 4);
+  }
+  {
+    sim::Simulator sim(1);
+    net::Network net(sim);
+    const auto topo = core::topology_builder("aspen", 8, 2, 3)(net);
+    EXPECT_EQ(static_cast<double>(topo.hosts.size()),
+              core::Scalability::aspen_nodes(8, 3));
+  }
+}
+
+TEST(ThroughputMeterEdge, EmptyRangeAndMeanZero) {
+  stats::ThroughputMeter m;
+  EXPECT_TRUE(m.series(sim::millis(10), sim::millis(10)).empty());
+  EXPECT_DOUBLE_EQ(m.mean_mbps(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_mbps(0, sim::seconds(1)), 0.0);
+}
+
+TEST(RandomShuffle, IsAPermutation) {
+  sim::Random rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(FormatTimeEdge, SubMicrosecondAndNegativeValues) {
+  EXPECT_EQ(sim::format_time(0), "0ns");
+  EXPECT_EQ(sim::format_time(999), "999ns");
+  EXPECT_EQ(sim::format_time(-sim::seconds(100)), "-100s");
+}
+
+TEST(UdpSenderStopsAtDeadline, ExactCount) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 4); });
+  bed.converge();
+  auto& src = bed.stack_of(*bed.topo().hosts.front());
+  transport::UdpSink sink(bed.stack_of(*bed.topo().hosts.back()), 9000);
+  transport::UdpCbrSender::Options so;
+  so.start = sim::millis(10);
+  so.stop = sim::millis(10) + sim::millis(1);  // 1 ms @ 100 us = 10 packets
+  transport::UdpCbrSender sender(src, bed.topo().hosts.back()->addr(), so);
+  sender.start();
+  bed.sim().run(sim::seconds(1));
+  EXPECT_EQ(sender.packets_sent(), 10u);
+  EXPECT_EQ(sink.packets_received(), 10u);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t {
+namespace {
+
+using core::Testbed;
+
+/// Table III's TCP rows: a paced TCP flow through a single downward-link
+/// failure; the metric is the duration of throughput collapse (<50% of
+/// the pre-failure average, 20 ms bins).
+sim::Time run_tcp_collapse(const Testbed::TopoBuilder& builder,
+                           std::uint64_t* rto_fires = nullptr) {
+  const sim::Time fail_at = sim::millis(380);
+  const sim::Time horizon = sim::seconds(4);
+
+  Testbed bed(builder);
+  bed.converge();
+  auto plan = failure::build_condition(bed.topo(), failure::Condition::kC1,
+                                       net::Protocol::kTcp);
+  if (!plan) {
+    ADD_FAILURE() << "no C1 plan";
+    return 0;
+  }
+
+  auto& src_stack = bed.stack_of(*plan->src);
+  auto& dst_stack = bed.stack_of(*plan->dst);
+  // The TCP connection must hash onto the same path the plan was built
+  // for, so reuse the plan's ports.
+  transport::TcpConnection conn(src_stack, dst_stack, plan->sport,
+                                plan->dport, transport::TcpConfig{});
+
+  stats::ThroughputMeter meter;
+  std::uint64_t last = 0;
+  conn.b().set_on_delivered([&](std::uint64_t d) {
+    meter.add(bed.sim().now(), d - last);
+    last = d;
+  });
+  transport::PacedTcpWriter::Options wo;
+  wo.stop = horizon - sim::millis(500);
+  transport::PacedTcpWriter writer(conn.a(), bed.sim(), wo);
+  writer.start();
+
+  for (net::Link* link : plan->fail_links) {
+    bed.injector().fail_at(*link, fail_at);
+  }
+  bed.sim().run(horizon);
+  if (rto_fires != nullptr) *rto_fires = conn.a().stats().rto_fires;
+  // Measure only while the app is still offering load, otherwise the
+  // post-writer-stop silence reads as a bogus collapse.
+  return stats::throughput_collapse_duration(meter, sim::millis(100),
+                                             fail_at, wo.stop);
+}
+
+TEST(TcpCollapse, FatTreeSuffersDoubledRto) {
+  // ~272 ms outage > 200 ms initial RTO: the first retransmission dies
+  // too, so recovery waits for the doubled RTO => ~600-700 ms collapse.
+  std::uint64_t rto = 0;
+  const sim::Time collapse = run_tcp_collapse(
+      [](net::Network& n) {
+        return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 4});
+      },
+      &rto);
+  EXPECT_GE(collapse, sim::millis(550));
+  EXPECT_LE(collapse, sim::millis(760));
+  EXPECT_GE(rto, 2u);
+}
+
+TEST(TcpCollapse, F2TreeRecoversAfterSingleRto) {
+  // ~60 ms outage < 200 ms RTO: the first retransmission already goes
+  // through the backup path => ~200-260 ms collapse.
+  std::uint64_t rto = 0;
+  const sim::Time collapse = run_tcp_collapse(
+      [](net::Network& n) { return topo::build_f2tree(n, 4); }, &rto);
+  EXPECT_GE(collapse, sim::millis(160));
+  EXPECT_LE(collapse, sim::millis(300));
+  EXPECT_LE(rto, 2u);
+}
+
+TEST(TcpCollapse, EmulationScaleGapMatchesFig4C1) {
+  const sim::Time fat = run_tcp_collapse([](net::Network& n) {
+    return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+  });
+  const sim::Time f2 = run_tcp_collapse(
+      [](net::Network& n) { return topo::build_f2tree(n, 8); });
+  EXPECT_GT(fat, 2 * f2);  // paper: 610 ms vs 220 ms
+}
+
+}  // namespace
+}  // namespace f2t

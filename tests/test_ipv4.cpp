@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+
+namespace f2t::net {
+namespace {
+
+TEST(Ipv4Addr, RoundTrip) {
+  const Ipv4Addr a(10, 11, 2, 1);
+  EXPECT_EQ(a.str(), "10.11.2.1");
+  EXPECT_EQ(Ipv4Addr::parse("10.11.2.1"), a);
+}
+
+TEST(Ipv4Addr, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255").value(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Addr::parse(""), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("10.0.0"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("10.0.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("10.0.0.x"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("10..0.1"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Prefix, NormalizesHostBits) {
+  const Prefix p(Ipv4Addr(10, 11, 3, 7), 24);
+  EXPECT_EQ(p.address(), Ipv4Addr(10, 11, 3, 0));
+  EXPECT_EQ(p.str(), "10.11.3.0/24");
+}
+
+TEST(Prefix, PaperBackupChainNormalization) {
+  // The covering chain the backup routes rely on (§II-B / Fig 3(d)).
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 11, 0, 0), 16).str(), "10.11.0.0/16");
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 11, 0, 0), 15).str(), "10.10.0.0/15");
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 11, 0, 0), 14).str(), "10.8.0.0/14");
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 11, 0, 0), 13).str(), "10.8.0.0/13");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse("10.11.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 11, 200, 9)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 12, 0, 1)));
+}
+
+TEST(Prefix, ContainsPrefixNesting) {
+  const Prefix host_net = Prefix::parse("10.11.0.0/16");
+  const Prefix cover = Prefix::parse("10.10.0.0/15");
+  EXPECT_TRUE(cover.contains(host_net));
+  EXPECT_FALSE(host_net.contains(cover));
+  EXPECT_TRUE(host_net.contains(host_net));
+}
+
+TEST(Prefix, ZeroAndFullLength) {
+  const Prefix all = Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 1, 2, 3)));
+  EXPECT_EQ(all.mask(), 0u);
+  const Prefix host = Prefix::host(Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(host.length(), 32);
+  EXPECT_TRUE(host.contains(Ipv4Addr(10, 0, 0, 1)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(10, 0, 0, 2)));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/-1"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/x"), std::invalid_argument);
+}
+
+TEST(Prefix, EqualityIsNormalized) {
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 11, 5, 200), 24),
+            Prefix(Ipv4Addr(10, 11, 5, 3), 24));
+  EXPECT_NE(Prefix::parse("10.11.0.0/16"), Prefix::parse("10.11.0.0/17"));
+}
+
+}  // namespace
+}  // namespace f2t::net

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::net {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{1};
+  Network net_{sim_};
+};
+
+TEST_F(NetTest, QueueDropTail) {
+  DropTailQueue q(2);
+  Packet p;
+  EXPECT_TRUE(q.push(p));
+  EXPECT_TRUE(q.push(p));
+  EXPECT_FALSE(q.push(p));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST_F(NetTest, QueueFifoOrder) {
+  DropTailQueue q(10);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Packet p;
+    p.udp_seq = i;
+    q.push(p);
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.pop()->udp_seq, i);
+  }
+}
+
+TEST_F(NetTest, LinkDeliversWithSerializationAndPropagation) {
+  auto& tor = net_.add_switch("tor", Ipv4Addr(10, 11, 0, 1));
+  auto& host = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &tor);
+  // 1 Gbps, 5 us prop: a 1490-byte packet serializes in 11.92 us.
+  Packet p;
+  p.dst = host.addr();
+  p.src = Ipv4Addr(10, 11, 0, 1);
+  p.size_bytes = 1490;
+  p.proto = Protocol::kUdp;
+  sim::Time delivered_at = -1;
+  host.set_packet_handler([&](Packet) { delivered_at = sim_.now(); });
+  sim_.at(0, [&] { tor.send(0, p); });
+  sim_.run();
+  ASSERT_GE(delivered_at, 0);
+  EXPECT_NEAR(static_cast<double>(delivered_at),
+              static_cast<double>(sim::micros(5)) + 1490 * 8.0, 50.0);
+}
+
+TEST_F(NetTest, LinkDownBlackholesAndRecovers) {
+  auto& tor = net_.add_switch("tor", Ipv4Addr(10, 11, 0, 1));
+  auto& host = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &tor);
+  Link* link = net_.find_link(tor, host);
+  ASSERT_NE(link, nullptr);
+  int received = 0;
+  host.set_packet_handler([&](Packet) { ++received; });
+  Packet p;
+  p.dst = host.addr();
+  p.size_bytes = 100;
+
+  sim_.at(0, [&] { tor.send(0, p); });
+  sim_.at(sim::millis(1), [&] { link->set_up(false); });
+  sim_.at(sim::millis(2), [&] { tor.send(0, p); });  // lost
+  sim_.at(sim::millis(3), [&] { link->set_up(true); });
+  sim_.at(sim::millis(4), [&] { tor.send(0, p); });
+  sim_.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_GE(link->dropped_down(), 1u);
+}
+
+TEST_F(NetTest, PacketInFlightWhenLinkCutIsLost) {
+  LinkParams slow;
+  slow.propagation_delay = sim::millis(10);
+  net_.set_default_link_params(slow);
+  auto& tor = net_.add_switch("tor", Ipv4Addr(10, 11, 0, 1));
+  auto& host = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &tor);
+  Link* link = net_.find_link(tor, host);
+  int received = 0;
+  host.set_packet_handler([&](Packet) { ++received; });
+  Packet p;
+  p.dst = host.addr();
+  p.size_bytes = 100;
+  sim_.at(0, [&] { tor.send(0, p); });
+  sim_.at(sim::millis(5), [&] { link->set_up(false); });  // mid-propagation
+  sim_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetTest, LinkObserverFiresOnTransitionsOnly) {
+  auto& a = net_.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& b = net_.add_switch("b", Ipv4Addr(10, 12, 1, 1));
+  Link& link = net_.connect_default(a, b);
+  int events = 0;
+  link.add_observer([&](Link&, bool) { ++events; });
+  link.set_up(false);
+  link.set_up(false);  // idempotent
+  link.set_up(true);
+  EXPECT_EQ(events, 2);
+}
+
+TEST_F(NetTest, SwitchForwardsByLpmAndCountsDrops) {
+  auto& sw = net_.add_switch("sw", Ipv4Addr(10, 12, 0, 1));
+  auto& h1 = net_.add_host("h1", Ipv4Addr(10, 11, 0, 10), &sw);
+  auto& h2 = net_.add_host("h2", Ipv4Addr(10, 11, 0, 11), &sw);
+  int got1 = 0, got2 = 0;
+  h1.set_packet_handler([&](Packet) { ++got1; });
+  h2.set_packet_handler([&](Packet) { ++got2; });
+
+  Packet to2;
+  to2.src = h1.addr();
+  to2.dst = h2.addr();
+  to2.ttl = 64;
+  to2.size_bytes = 100;
+  sim_.at(0, [&] { sw.forward(to2); });
+
+  Packet nowhere = to2;
+  nowhere.dst = Ipv4Addr(10, 99, 0, 1);
+  sim_.at(0, [&] { sw.forward(nowhere); });
+
+  Packet dying = to2;
+  dying.ttl = 1;
+  sim_.at(0, [&] { sw.forward(dying); });
+
+  sim_.run();
+  EXPECT_EQ(got2, 1);
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(sw.counters().dropped_no_route, 1u);
+  EXPECT_EQ(sw.counters().dropped_ttl, 1u);
+  EXPECT_EQ(sw.counters().forwarded, 1u);
+}
+
+TEST_F(NetTest, HostRejectsMisdelivered) {
+  auto& sw = net_.add_switch("sw", Ipv4Addr(10, 12, 0, 1));
+  auto& h1 = net_.add_host("h1", Ipv4Addr(10, 11, 0, 10), &sw);
+  Packet p;
+  p.dst = Ipv4Addr(10, 11, 0, 99);  // not h1
+  sim_.at(0, [&] { sw.send(0, p); });
+  sim_.run();
+  EXPECT_EQ(h1.delivered(), 0u);
+  EXPECT_EQ(h1.misdelivered(), 1u);
+}
+
+TEST_F(NetTest, NetworkLookupsAndDuplicateNames) {
+  auto& sw = net_.add_switch("sw", Ipv4Addr(10, 12, 0, 1));
+  auto& host = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &sw);
+  EXPECT_EQ(net_.find_switch("sw"), &sw);
+  EXPECT_EQ(net_.find_host("h"), &host);
+  EXPECT_EQ(net_.find_switch("h"), nullptr);  // wrong type
+  EXPECT_EQ(net_.find_node("nope"), nullptr);
+  EXPECT_THROW(net_.add_switch("sw", Ipv4Addr(10, 12, 0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(net_.connect_default(sw, sw), std::invalid_argument);
+}
+
+TEST_F(NetTest, PortPeerMetadataIsFilledIn) {
+  auto& a = net_.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& b = net_.add_switch("b", Ipv4Addr(10, 12, 1, 1));
+  auto& h = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &a);
+  net_.connect_default(a, b);
+  // a: port0 -> host, port1 -> b.
+  EXPECT_EQ(a.port(0).peer_addr, h.addr());
+  EXPECT_FALSE(a.port(0).peer_is_switch);
+  EXPECT_EQ(a.port(1).peer_addr, b.router_id());
+  EXPECT_TRUE(a.port(1).peer_is_switch);
+  EXPECT_EQ(a.port_of_link(*net_.find_link(a, b)), 1);
+}
+
+TEST_F(NetTest, ConnectedHostRouteInstalledOnTor) {
+  auto& tor = net_.add_switch("tor", Ipv4Addr(10, 11, 0, 1));
+  auto& h = net_.add_host("h", Ipv4Addr(10, 11, 0, 10), &tor);
+  const auto route = tor.fib().find(Prefix::host(h.addr()),
+                                    routing::RouteSource::kConnected);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hops.size(), 1u);
+}
+
+TEST_F(NetTest, ParallelLinksAreDistinct) {
+  auto& a = net_.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& b = net_.add_switch("b", Ipv4Addr(10, 12, 1, 1));
+  net_.connect_default(a, b);
+  net_.connect_default(a, b);
+  EXPECT_EQ(net_.find_links(a, b).size(), 2u);
+  EXPECT_EQ(a.port_count(), 2u);
+}
+
+}  // namespace
+}  // namespace f2t::net

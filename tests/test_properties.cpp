@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+#include "routing/ecmp.hpp"
+
+namespace f2t {
+namespace {
+
+/// Parameterised over every topology family the library builds.
+struct TopoCase {
+  const char* name;
+  core::Testbed::TopoBuilder builder;
+};
+
+class AllTopologies : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(AllTopologies, ValidatesAndConverges) {
+  core::Testbed bed(GetParam().builder);
+  bed.converge();
+  EXPECT_TRUE(topo::validate_topology(bed.topo()).empty());
+}
+
+TEST_P(AllTopologies, AllHostPairsReachableAfterConvergence) {
+  core::Testbed bed(GetParam().builder);
+  bed.converge();
+  const auto& hosts = bed.topo().hosts;
+  int checked = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    // Check each host against a handful of others (full cross product is
+    // redundant: LPM+ECMP is destination/flow-based).
+    for (const std::size_t delta :
+         {std::size_t{1}, std::size_t{7}, hosts.size() / 2}) {
+      const std::size_t j = (i + delta) % hosts.size();
+      if (i == j) continue;
+      net::Packet probe;
+      probe.src = hosts[i]->addr();
+      probe.dst = hosts[j]->addr();
+      probe.sport = static_cast<std::uint16_t>(1000 + i);
+      const auto path = failure::trace_route(*hosts[i], *hosts[j], probe);
+      ASSERT_FALSE(path.empty())
+          << hosts[i]->name() << " -> " << hosts[j]->name();
+      EXPECT_EQ(path.back(), hosts[j]);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(AllTopologies, ReconvergesAroundEverySampledSingleLinkFailure) {
+  // Property: for a sample of single link failures, once the control
+  // plane reconverges, every host pair is reachable again (multi-rooted
+  // trees stay physically connected under any single failure that is not
+  // a host uplink).
+  core::Testbed bed(GetParam().builder);
+  bed.converge();
+  auto links = bed.network().links();
+  std::vector<net::Link*> switch_links;
+  for (auto* link : links) {
+    if (dynamic_cast<net::L3Switch*>(link->end_a().node) != nullptr &&
+        dynamic_cast<net::L3Switch*>(link->end_b().node) != nullptr) {
+      switch_links.push_back(link);
+    }
+  }
+  ASSERT_FALSE(switch_links.empty());
+  sim::Random rng(42);
+  sim::Time when = sim::millis(10);
+  std::vector<net::Link*> sample;
+  for (int k = 0; k < 5; ++k) {
+    sample.push_back(switch_links[rng.index(switch_links.size())]);
+  }
+  for (net::Link* link : sample) {
+    bed.injector().fail_at(*link, when);
+    // SPF backoff grows under churn; leave generous convergence time.
+    when += sim::seconds(30);
+    const sim::Time check_at = when - sim::seconds(1);
+    bed.sim().run(check_at);
+    const auto& hosts = bed.topo().hosts;
+    for (std::size_t i = 0; i < hosts.size(); i += 3) {
+      const std::size_t j = (i + hosts.size() / 2 + 1) % hosts.size();
+      if (i == j) continue;
+      net::Packet probe;
+      probe.src = hosts[i]->addr();
+      probe.dst = hosts[j]->addr();
+      probe.sport = static_cast<std::uint16_t>(2000 + i);
+      const auto path = failure::trace_route(*hosts[i], *hosts[j], probe);
+      ASSERT_FALSE(path.empty())
+          << GetParam().name << ": " << hosts[i]->name() << " -> "
+          << hosts[j]->name() << " after failing "
+          << link->end_a().node->name() << "<->"
+          << link->end_b().node->name();
+    }
+    bed.injector().recover_at(*link, when - sim::millis(500));
+    bed.sim().run(when);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, AllTopologies,
+    ::testing::Values(
+        TopoCase{"fat4",
+                 [](net::Network& n) {
+                   return topo::build_fat_tree(
+                       n, topo::FatTreeOptions{.ports = 4});
+                 }},
+        TopoCase{"fat8",
+                 [](net::Network& n) {
+                   return topo::build_fat_tree(
+                       n, topo::FatTreeOptions{.ports = 8});
+                 }},
+        TopoCase{"f2_4",
+                 [](net::Network& n) { return topo::build_f2tree(n, 4); }},
+        TopoCase{"f2_8",
+                 [](net::Network& n) { return topo::build_f2tree(n, 8); }},
+        TopoCase{"f2_8_ring4",
+                 [](net::Network& n) { return topo::build_f2tree(n, 8, 4); }},
+        TopoCase{"f2_scaled6",
+                 [](net::Network& n) {
+                   return topo::build_f2tree_scaled(
+                       n, topo::F2TreeScaledOptions{6, -1});
+                 }},
+        TopoCase{"f2_scaled8",
+                 [](net::Network& n) {
+                   return topo::build_f2tree_scaled(
+                       n, topo::F2TreeScaledOptions{8, -1});
+                 }},
+        TopoCase{"leafspine8",
+                 [](net::Network& n) {
+                   return topo::build_leaf_spine(
+                       n, topo::LeafSpineOptions{.ports = 8});
+                 }},
+        TopoCase{"leafspine8_f2",
+                 [](net::Network& n) {
+                   return topo::build_leaf_spine(
+                       n,
+                       topo::LeafSpineOptions{.ports = 8, .f2_rewire = true});
+                 }},
+        TopoCase{"vl2_8",
+                 [](net::Network& n) {
+                   return topo::build_vl2(n, topo::Vl2Options{.ports = 8});
+                 }},
+        TopoCase{"vl2_8_f2",
+                 [](net::Network& n) {
+                   return topo::build_vl2(
+                       n, topo::Vl2Options{.ports = 8, .f2_rewire = true});
+                 }}),
+    [](const ::testing::TestParamInfo<TopoCase>& info) {
+      return info.param.name;
+    });
+
+/// ECMP distribution property: over many flows, every equal-cost member
+/// carries a reasonable share.
+TEST(EcmpProperty, HashSpreadsEvenly) {
+  net::Packet p;
+  p.src = net::Ipv4Addr(10, 11, 0, 10);
+  p.dst = net::Ipv4Addr(10, 11, 9, 10);
+  std::array<int, 4> buckets{};
+  for (int sport = 0; sport < 4000; ++sport) {
+    p.sport = static_cast<std::uint16_t>(sport);
+    buckets[routing::ecmp_select(p, 99, buckets.size())]++;
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(EcmpProperty, SaltDecorrelatesSwitches) {
+  net::Packet p;
+  p.src = net::Ipv4Addr(10, 11, 0, 10);
+  p.dst = net::Ipv4Addr(10, 11, 9, 10);
+  int same = 0;
+  const int n = 2000;
+  for (int sport = 0; sport < n; ++sport) {
+    p.sport = static_cast<std::uint16_t>(sport);
+    if (routing::ecmp_select(p, 1, 2) == routing::ecmp_select(p, 2, 2)) {
+      ++same;
+    }
+  }
+  // Roughly half should agree if the salts are independent.
+  EXPECT_GT(same, n / 2 - 200);
+  EXPECT_LT(same, n / 2 + 200);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t::failure {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest()
+      : fat_([](net::Network& n) {
+          return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+        }),
+        f2_([](net::Network& n) { return topo::build_f2tree(n, 8); }) {
+    fat_.converge();
+    f2_.converge();
+  }
+
+  core::Testbed fat_;
+  core::Testbed f2_;
+};
+
+TEST_F(ScenarioTest, TraceRouteFindsFiveSwitchPath) {
+  auto& topo = f2_.topo();
+  net::Packet probe;
+  probe.src = topo.hosts.front()->addr();
+  probe.dst = topo.hosts.back()->addr();
+  probe.proto = net::Protocol::kUdp;
+  probe.sport = 12345;
+  probe.dport = 9000;
+  const auto path = trace_route(*topo.hosts.front(), *topo.hosts.back(),
+                                probe);
+  // host, tor, agg, core, agg, tor, host for inter-pod traffic.
+  ASSERT_EQ(path.size(), 7u);
+  EXPECT_EQ(path.front(), topo.hosts.front());
+  EXPECT_EQ(path.back(), topo.hosts.back());
+}
+
+TEST_F(ScenarioTest, TraceRouteIntraTor) {
+  auto& topo = f2_.topo();
+  auto* tor = topo.tors.front();
+  const auto& hosts = topo.hosts_of_tor.at(tor);
+  ASSERT_GE(hosts.size(), 2u);
+  net::Packet probe;
+  probe.src = hosts[0]->addr();
+  probe.dst = hosts[1]->addr();
+  const auto path = trace_route(*hosts[0], *hosts[1], probe);
+  ASSERT_EQ(path.size(), 3u);  // host, tor, host
+}
+
+TEST_F(ScenarioTest, TraceRouteIsDeterministicPerTuple) {
+  auto& topo = f2_.topo();
+  net::Packet probe;
+  probe.src = topo.hosts.front()->addr();
+  probe.dst = topo.hosts.back()->addr();
+  probe.sport = 777;
+  const auto p1 = trace_route(*topo.hosts.front(), *topo.hosts.back(), probe);
+  const auto p2 = trace_route(*topo.hosts.front(), *topo.hosts.back(), probe);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_F(ScenarioTest, EcmpSpreadsAcrossSourcePorts) {
+  auto& topo = fat_.topo();
+  std::set<const net::Node*> second_hops;
+  for (std::uint16_t sport = 1000; sport < 1064; ++sport) {
+    net::Packet probe;
+    probe.src = topo.hosts.front()->addr();
+    probe.dst = topo.hosts.back()->addr();
+    probe.sport = sport;
+    const auto path =
+        trace_route(*topo.hosts.front(), *topo.hosts.back(), probe);
+    ASSERT_GE(path.size(), 3u);
+    second_hops.insert(path[2]);  // the agg chosen by the source ToR
+  }
+  EXPECT_GE(second_hops.size(), 2u);  // multiple aggs actually used
+}
+
+TEST_F(ScenarioTest, ConditionPlansHaveExpectedShape) {
+  struct Expectation {
+    Condition c;
+    std::size_t links;
+  };
+  const std::vector<Expectation> table{
+      {Condition::kC1, 1}, {Condition::kC2, 1}, {Condition::kC3, 2},
+      {Condition::kC4, 2}, {Condition::kC6, 2}, {Condition::kC7, 3},
+      {Condition::kC8, 3},
+  };
+  for (const auto& [condition, links] : table) {
+    const auto plan = build_condition(f2_.topo(), condition);
+    ASSERT_TRUE(plan.has_value()) << condition_name(condition);
+    EXPECT_EQ(plan->fail_links.size(), links) << condition_name(condition);
+    EXPECT_NE(plan->sx, nullptr);
+    EXPECT_NE(plan->dst_tor, nullptr);
+    EXPECT_FALSE(plan->description.empty());
+  }
+  // C5: all dst-pod downlinks to the dst ToR except the left neighbour's.
+  const auto c5 = build_condition(f2_.topo(), Condition::kC5);
+  ASSERT_TRUE(c5.has_value());
+  EXPECT_EQ(c5->fail_links.size(),
+            f2_.topo().pods.front().aggs.size() - 1);
+}
+
+TEST_F(ScenarioTest, C1PlanFailsTheLinkOnTheTracedPath) {
+  const auto plan = build_condition(f2_.topo(), Condition::kC1);
+  ASSERT_TRUE(plan.has_value());
+  net::Packet probe;
+  probe.src = plan->src->addr();
+  probe.dst = plan->dst->addr();
+  probe.proto = net::Protocol::kUdp;
+  probe.sport = plan->sport;
+  probe.dport = plan->dport;
+  const auto path = trace_route(*plan->src, *plan->dst, probe);
+  ASSERT_GE(path.size(), 3u);
+  // The failed link joins the last two switches of the path.
+  const auto* link = plan->fail_links.front();
+  const net::Node* a = link->end_a().node;
+  const net::Node* b = link->end_b().node;
+  EXPECT_TRUE((a == plan->sx && b == plan->dst_tor) ||
+              (b == plan->sx && a == plan->dst_tor));
+  EXPECT_EQ(path[path.size() - 3], static_cast<const net::Node*>(plan->sx));
+}
+
+TEST_F(ScenarioTest, F2OnlyConditionsRejectedOnFatTree) {
+  EXPECT_FALSE(build_condition(fat_.topo(), Condition::kC6).has_value());
+  EXPECT_FALSE(build_condition(fat_.topo(), Condition::kC7).has_value());
+  // C1-C5 are fine on fat tree.
+  EXPECT_TRUE(build_condition(fat_.topo(), Condition::kC1).has_value());
+  EXPECT_TRUE(build_condition(fat_.topo(), Condition::kC5).has_value());
+}
+
+TEST_F(ScenarioTest, InjectorHistoryAndSwitchFailure) {
+  auto& bed = f2_;
+  auto* sw = bed.topo().aggs.front();
+  const auto ports = sw->port_count();
+  bed.injector().fail_switch_at(*sw, sim::millis(5));
+  bed.sim().run(sim::millis(10));
+  EXPECT_EQ(bed.injector().history().size(), ports);
+  EXPECT_EQ(bed.injector().active_failures(), static_cast<int>(ports));
+  for (const auto& port : sw->ports()) {
+    EXPECT_FALSE(port.link->is_up());
+  }
+}
+
+TEST(RandomFailures, RespectsConcurrencyCapAndRecovers) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 8); });
+  bed.converge();
+  RandomFailureOptions opts;
+  opts.interarrival_median_s = 1.0;
+  opts.interarrival_sigma = 0.5;
+  opts.duration_median_s = 2.0;
+  opts.duration_sigma = 0.5;
+  opts.max_concurrent = 2;
+  opts.start = sim::seconds(1);
+  opts.stop = sim::seconds(60);
+  RandomFailureGenerator gen(bed.injector(), sim::Random(7), opts);
+  gen.start();
+
+  // Sample concurrency every 500 ms.
+  int max_seen = 0;
+  for (sim::Time t = sim::seconds(1); t < sim::seconds(61);
+       t += sim::millis(500)) {
+    bed.sim().at(t, [&] {
+      max_seen = std::max(max_seen, bed.injector().active_failures());
+    });
+  }
+  bed.sim().run(sim::seconds(120));
+  EXPECT_GT(gen.failures_injected(), 5);
+  EXPECT_LE(max_seen, 2);
+  // Everything recovered by the end.
+  EXPECT_EQ(bed.injector().active_failures(), 0);
+}
+
+}  // namespace
+}  // namespace f2t::failure

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::sim {
+namespace {
+
+TEST(Time, Constructors) {
+  EXPECT_EQ(micros(1), 1000);
+  EXPECT_EQ(millis(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(from_seconds(0.5), millis(500));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(42)), 42.0);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(kNever), "never");
+  EXPECT_EQ(format_time(100), "100ns");
+  EXPECT_EQ(format_time(millis(60)), "60ms");
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(s.has_pending());
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafe) {
+  Scheduler s;
+  const EventId id = s.schedule_at(10, [] {});
+  s.cancel(id);
+  s.cancel(id);
+  s.cancel(kInvalidEventId);
+  s.cancel(9999);  // never-issued id
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Scheduler, RunUntilHorizonStopsAndAdvancesClock) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(100, [&] { ++count; });
+  EXPECT_EQ(s.run(50), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 50);
+  EXPECT_TRUE(s.has_pending());
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule_after(10, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Scheduler, RejectsPastAndEmptyActions) {
+  Scheduler s;
+  s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(20, nullptr), std::invalid_argument);
+}
+
+TEST(Scheduler, NextEventTimeSkipsCancelled) {
+  Scheduler s;
+  const EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.next_event_time(), 20);
+}
+
+TEST(Random, DeterministicWithSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Random, UniformIntBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Random, LognormalMedianIsRoughlyMedian) {
+  Random r(11);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.lognormal_median(10.0, 1.2) < 10.0) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(Random, ExponentialMean) {
+  Random r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Random, RejectsBadArguments) {
+  Random r(1);
+  EXPECT_THROW(r.uniform_int(5, 4), std::invalid_argument);
+  EXPECT_THROW(r.exponential(0), std::invalid_argument);
+  EXPECT_THROW(r.lognormal_median(-1, 1), std::invalid_argument);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+TEST(Random, ForkIsIndependent) {
+  Random a(99);
+  Random child = a.fork();
+  // Child stream should not equal the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform_int(0, 1 << 30) != child.uniform_int(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulator, BundlesServices) {
+  Simulator sim(5);
+  int fired = 0;
+  sim.after(millis(5), [&] { ++fired; });
+  sim.run(millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), millis(10));
+}
+
+}  // namespace
+}  // namespace f2t::sim

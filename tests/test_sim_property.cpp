@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace f2t::sim {
+namespace {
+
+/// Randomized scheduler workload checked against a sorted reference:
+/// random schedule/cancel interleavings must fire exactly the uncancelled
+/// events, in (time, insertion) order.
+TEST(SchedulerProperty, MatchesSortedReferenceUnderRandomOps) {
+  Random rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    Scheduler scheduler;
+    struct Planned {
+      Time at;
+      EventId id;
+      std::uint64_t label;
+      bool cancelled = false;
+    };
+    std::vector<Planned> planned;
+    std::vector<std::uint64_t> fired;
+
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      const Time at = rng.uniform_int(0, 500);
+      const auto label = static_cast<std::uint64_t>(i);
+      const EventId id = scheduler.schedule_at(
+          at, [&fired, label] { fired.push_back(label); });
+      planned.push_back({at, id, label});
+    }
+    // Cancel a random third.
+    for (auto& p : planned) {
+      if (rng.chance(0.33)) {
+        scheduler.cancel(p.id);
+        p.cancelled = true;
+      }
+    }
+    scheduler.run();
+
+    std::vector<Planned> expected;
+    for (const auto& p : planned) {
+      if (!p.cancelled) expected.push_back(p);
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Planned& a, const Planned& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.id < b.id;
+                     });
+    ASSERT_EQ(fired.size(), expected.size()) << "round " << round;
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      EXPECT_EQ(fired[i], expected[i].label) << "round " << round;
+    }
+  }
+}
+
+TEST(SchedulerProperty, CancellationDuringExecutionIsHonored) {
+  Scheduler scheduler;
+  bool second_fired = false;
+  EventId second = kInvalidEventId;
+  scheduler.schedule_at(10, [&] { scheduler.cancel(second); });
+  second = scheduler.schedule_at(20, [&] { second_fired = true; });
+  scheduler.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SchedulerProperty, ReschedulingFromHandlersKeepsOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule_at(10, [&] {
+    order.push_back(1);
+    scheduler.schedule_at(15, [&] { order.push_back(2); });
+    scheduler.schedule_at(10, [&] { order.push_back(3); });  // same time: after
+  });
+  scheduler.schedule_at(12, [&] { order.push_back(4); });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4, 2}));
+}
+
+}  // namespace
+}  // namespace f2t::sim

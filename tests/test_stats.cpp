@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "stats/cdf.hpp"
+#include "stats/flow_metrics.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace f2t::stats {
+namespace {
+
+TEST(ThroughputMeter, BinsAndRates) {
+  ThroughputMeter m(sim::millis(20));
+  m.add(sim::millis(5), 1000);
+  m.add(sim::millis(15), 1000);
+  m.add(sim::millis(25), 500);
+  const auto series = m.series(0, sim::millis(60));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].bytes, 2000u);
+  EXPECT_EQ(series[1].bytes, 500u);
+  EXPECT_EQ(series[2].bytes, 0u);
+  EXPECT_DOUBLE_EQ(series[0].mbps, 2000 * 8.0 / (0.020 * 1e6));
+  EXPECT_EQ(m.total_bytes(), 2500u);
+}
+
+TEST(ThroughputMeter, MeanRate) {
+  ThroughputMeter m(sim::millis(10));
+  for (int i = 0; i < 100; ++i) {
+    m.add(sim::millis(i), 1250);  // 1250 B/ms = 10 Mbps
+  }
+  EXPECT_NEAR(m.mean_mbps(0, sim::millis(100)), 10.0, 0.01);
+}
+
+TEST(ThroughputMeter, RejectsBadInput) {
+  EXPECT_THROW(ThroughputMeter(0), std::invalid_argument);
+  ThroughputMeter m;
+  EXPECT_THROW(m.add(-1, 10), std::invalid_argument);
+}
+
+TEST(FlowMetrics, FindsFailureGap) {
+  std::vector<sim::Time> arrivals;
+  for (int i = 0; i < 100; ++i) arrivals.push_back(sim::micros(100 * i));
+  // Outage: 60 ms silence starting near 10 ms.
+  const sim::Time resume = sim::micros(9900) + sim::millis(60);
+  for (int i = 0; i < 50; ++i) {
+    arrivals.push_back(resume + sim::micros(100 * i));
+  }
+  const auto loss = find_connectivity_loss(arrivals, sim::millis(10));
+  ASSERT_TRUE(loss.has_value());
+  EXPECT_EQ(loss->duration(), sim::millis(60));
+}
+
+TEST(FlowMetrics, IgnoresGapsBeforeFailure) {
+  std::vector<sim::Time> arrivals{0, sim::millis(50), sim::millis(51),
+                                  sim::millis(52), sim::millis(120)};
+  // Gap 0->50ms is before the failure at 51ms; gap 52->120 is the one.
+  const auto loss = find_connectivity_loss(arrivals, sim::millis(51));
+  ASSERT_TRUE(loss.has_value());
+  EXPECT_EQ(loss->gap_start, sim::millis(52));
+  EXPECT_EQ(loss->gap_end, sim::millis(120));
+}
+
+TEST(FlowMetrics, NoGapReturnsNullopt) {
+  std::vector<sim::Time> arrivals;
+  for (int i = 0; i < 1000; ++i) arrivals.push_back(sim::micros(100 * i));
+  EXPECT_FALSE(
+      find_connectivity_loss(arrivals, sim::millis(10)).has_value());
+}
+
+TEST(FlowMetrics, RejectsUnsortedArrivals) {
+  std::vector<sim::Time> arrivals{10, 5};
+  EXPECT_THROW(find_connectivity_loss(arrivals, 0), std::invalid_argument);
+}
+
+TEST(FlowMetrics, CollapseDurationCountsLowBins) {
+  ThroughputMeter m(sim::millis(20));
+  // Baseline 100..380ms at ~10 Mbps.
+  for (sim::Time t = 0; t < sim::millis(380); t += sim::millis(1)) {
+    m.add(t, 1250);
+  }
+  // Collapse: nothing until 600 ms, then recovery.
+  for (sim::Time t = sim::millis(600); t < sim::seconds(1);
+       t += sim::millis(1)) {
+    m.add(t, 1250);
+  }
+  const auto collapse = throughput_collapse_duration(
+      m, sim::millis(100), sim::millis(380), sim::seconds(1));
+  EXPECT_GE(collapse, sim::millis(200));
+  EXPECT_LE(collapse, sim::millis(240));
+}
+
+TEST(FlowMetrics, PacketsLost) {
+  EXPECT_EQ(packets_lost(100, 60), 40u);
+  EXPECT_EQ(packets_lost(60, 100), 0u);
+}
+
+TEST(Cdf, QuantilesAndTails) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100);
+  EXPECT_NEAR(cdf.quantile(0.5), 50, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.99), 99, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(90), 0.10);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(90), 0.90);
+  EXPECT_NEAR(cdf.mean(), 50.5, 1e-9);
+}
+
+TEST(Cdf, TailPoints) {
+  Cdf cdf;
+  for (int i = 1; i <= 1000; ++i) cdf.add(i);
+  const auto points = cdf.tail_points(900, 10);
+  ASSERT_FALSE(points.empty());
+  EXPECT_GT(points.front().value, 900);
+  EXPECT_DOUBLE_EQ(points.back().value, 1000);
+  EXPECT_DOUBLE_EQ(points.back().cumulative, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].cumulative, points[i - 1].cumulative);
+  }
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.fraction_above(5), 0.0);
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(cdf.min(), std::logic_error);
+  cdf.add(1);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Table, FormatsAligned) {
+  Table t({"name", "value"});
+  t.row({"fat tree", "272.8"});
+  t.row({"f2tree", "60.6"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| fat tree | 272.8 |"), std::string::npos);
+  EXPECT_NE(s.find("| f2tree   | 60.6  |"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(0.9625, 2), "96.25%");
+}
+
+TEST(TimeSeriesBasics, MeanAndDownsample) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.add(sim::millis(i), i < 50 ? 100 : 200);
+  EXPECT_DOUBLE_EQ(ts.mean(0, sim::millis(50)), 100);
+  EXPECT_DOUBLE_EQ(ts.mean(sim::millis(50), sim::millis(100)), 200);
+  const auto ds = ts.downsample(10);
+  EXPECT_LE(ds.size(), 10u);
+  EXPECT_FALSE(ds.empty());
+}
+
+}  // namespace
+}  // namespace f2t::stats

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+#include "transport/tcp.hpp"
+#include "transport/udp_app.hpp"
+
+namespace f2t::transport {
+namespace {
+
+/// Minimal two-host fixture: h1 - switch - h2.
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : sw_(net_.add_switch("sw", net::Ipv4Addr(10, 12, 0, 1))),
+        h1_(net_.add_host("h1", net::Ipv4Addr(10, 11, 0, 10), &sw_)),
+        h2_(net_.add_host("h2", net::Ipv4Addr(10, 11, 0, 11), &sw_)),
+        s1_(h1_),
+        s2_(h2_) {}
+
+  sim::Simulator sim_{1};
+  net::Network net_{sim_};
+  net::L3Switch& sw_;
+  net::Host& h1_;
+  net::Host& h2_;
+  HostStack s1_;
+  HostStack s2_;
+};
+
+TEST_F(TcpTest, BulkTransferDeliversAllBytes) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  conn->a().write(1'000'000);
+  sim_.run(sim::seconds(10));
+  EXPECT_EQ(conn->b().bytes_delivered(), 1'000'000u);
+  EXPECT_EQ(conn->a().bytes_acked(), 1'000'000u);
+}
+
+TEST_F(TcpTest, SmallRequestResponseRoundTrip) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  bool responded = false;
+  sim::Time completed = sim::kNever;
+  conn->b().set_on_delivered([&](std::uint64_t d) {
+    if (!responded && d >= 100) {
+      responded = true;
+      conn->b().write(2048);
+    }
+  });
+  conn->a().set_on_delivered([&](std::uint64_t d) {
+    if (d >= 2048 && completed == sim::kNever) completed = sim_.now();
+  });
+  conn->a().write(100);
+  sim_.run(sim::seconds(1));
+  ASSERT_NE(completed, sim::kNever);
+  // A couple of sub-ms RTTs through one switch.
+  EXPECT_LT(completed, sim::millis(2));
+}
+
+TEST_F(TcpTest, RttEstimateTracksPathRtt) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  conn->a().write(100'000);
+  sim_.run(sim::seconds(5));
+  // RTO floors at min_rto even though the real RTT is tiny.
+  EXPECT_EQ(conn->a().current_rto(), sim::millis(200));
+}
+
+TEST_F(TcpTest, CwndGrowsFromInitialWindow) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  const auto initial = conn->a().cwnd_bytes();
+  std::uint64_t peak = 0;
+  conn->a().set_on_acked([&](std::uint64_t) {
+    peak = std::max(peak, conn->a().cwnd_bytes());
+  });
+  conn->a().write(2'000'000);
+  sim_.run(sim::seconds(5));
+  EXPECT_GT(peak, initial);  // slow start opened the window past IW
+}
+
+TEST_F(TcpTest, OutageTriggersRtoBackoffThenRecovery) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  net::Link* link = net_.find_link(sw_, h2_);
+  ASSERT_NE(link, nullptr);
+
+  // Continuous paced writing across a 500 ms outage.
+  PacedTcpWriter::Options wo;
+  wo.stop = sim::seconds(3);
+  PacedTcpWriter writer(conn->a(), sim_, wo);
+  writer.start();
+  sim_.at(sim::millis(500), [&] { link->set_up(false); });
+  sim_.at(sim::seconds(1), [&] { link->set_up(true); });
+  sim_.run(sim::seconds(6));
+
+  EXPECT_GT(conn->a().stats().rto_fires, 0u);
+  EXPECT_GT(conn->a().stats().segments_retransmitted, 0u);
+  EXPECT_EQ(conn->b().bytes_delivered(), conn->a().bytes_written());
+}
+
+TEST_F(TcpTest, RtoBacksOffExponentiallyDuringBlackhole) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  net::Link* link = net_.find_link(sw_, h2_);
+  sim_.at(0, [&] { link->set_up(false); });
+  sim_.at(sim::millis(1), [&] { conn->a().write(1000); });
+  sim_.run(sim::seconds(4));
+  // ~200+400+800+1600 ms of backoff within 4 s: 4-5 fires, not dozens.
+  EXPECT_GE(conn->a().stats().rto_fires, 3u);
+  EXPECT_LE(conn->a().stats().rto_fires, 6u);
+  EXPECT_GT(conn->a().current_rto(), sim::millis(400));
+}
+
+TEST_F(TcpTest, QueueOverflowTriggersFastRetransmit) {
+  // Tiny egress queue + a large burst => drops => dupacks => fast rtx.
+  net::LinkParams tiny;
+  tiny.queue_capacity = 5;
+  sim::Simulator sim(2);
+  net::Network net(sim);
+  auto& sw = net.add_switch("sw", net::Ipv4Addr(10, 12, 0, 1));
+  net.set_default_link_params(tiny);
+  auto& a = net.add_host("a", net::Ipv4Addr(10, 11, 0, 10), &sw);
+  auto& b = net.add_host("b", net::Ipv4Addr(10, 11, 0, 11), &sw);
+  HostStack sa(a), sb(b);
+  TcpConfig config;
+  config.initial_cwnd_segments = 64;  // burst far beyond the queue
+  auto conn = TcpConnection::open(sa, sb, config);
+  conn->a().write(200'000);
+  sim.run(sim::seconds(30));
+  EXPECT_EQ(conn->b().bytes_delivered(), 200'000u);
+  EXPECT_GT(conn->a().stats().fast_retransmits, 0u);
+}
+
+TEST_F(TcpTest, DuplexSimultaneousTransfers) {
+  auto conn = TcpConnection::open(s1_, s2_);
+  conn->a().write(300'000);
+  conn->b().write(500'000);
+  sim_.run(sim::seconds(10));
+  EXPECT_EQ(conn->b().bytes_delivered(), 300'000u);
+  EXPECT_EQ(conn->a().bytes_delivered(), 500'000u);
+}
+
+TEST_F(TcpTest, ThroughputMatchesAppPacing) {
+  // 1448 B / 100 us = ~115.8 Mbps offered load, well under 1 Gbps.
+  auto conn = TcpConnection::open(s1_, s2_);
+  std::uint64_t last = 0;
+  stats::ThroughputMeter meter;
+  conn->b().set_on_delivered([&](std::uint64_t d) {
+    meter.add(sim_.now(), d - last);
+    last = d;
+  });
+  PacedTcpWriter::Options wo;
+  wo.stop = sim::seconds(1);
+  PacedTcpWriter writer(conn->a(), sim_, wo);
+  writer.start();
+  sim_.run(sim::seconds(2));
+  const double mbps = meter.mean_mbps(sim::millis(100), sim::millis(900));
+  EXPECT_NEAR(mbps, 115.8, 8.0);
+}
+
+TEST_F(TcpTest, StackDemuxSeparatesConnections) {
+  auto c1 = TcpConnection::open(s1_, s2_);
+  auto c2 = TcpConnection::open(s1_, s2_);
+  c1->a().write(10'000);
+  c2->a().write(20'000);
+  sim_.run(sim::seconds(2));
+  EXPECT_EQ(c1->b().bytes_delivered(), 10'000u);
+  EXPECT_EQ(c2->b().bytes_delivered(), 20'000u);
+  EXPECT_EQ(s2_.unmatched_packets(), 0u);
+}
+
+TEST_F(TcpTest, UdpAndTcpCoexist) {
+  UdpSink sink(s2_, 9000);
+  UdpCbrSender::Options uo;
+  uo.stop = sim::millis(10);
+  UdpCbrSender sender(s1_, h2_.addr(), uo);
+  sender.start();
+  auto conn = TcpConnection::open(s1_, s2_);
+  conn->a().write(50'000);
+  sim_.run(sim::seconds(2));
+  EXPECT_EQ(sink.packets_received(), sender.packets_sent());
+  EXPECT_EQ(conn->b().bytes_delivered(), 50'000u);
+}
+
+}  // namespace
+}  // namespace f2t::transport

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t::net {
+namespace {
+
+TEST(Unidirectional, OneDirectionKeepsFlowingUntilDetection) {
+  sim::Simulator sim(1);
+  Network net(sim);
+  auto& a = net.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& h = net.add_host("h", Ipv4Addr(10, 11, 0, 10), &a);
+  Link* link = net.find_link(a, h);
+  ASSERT_NE(link, nullptr);
+
+  int received = 0;
+  h.set_packet_handler([&](Packet) { ++received; });
+  Packet down;
+  down.dst = h.addr();
+  down.size_bytes = 100;
+
+  // Cut only the host->switch direction; switch->host traffic still works.
+  sim.at(sim::millis(1), [&] {
+    link->set_direction_up(Link::Direction::kBToA, false);
+  });
+  sim.at(sim::millis(2), [&] { a.send(0, down); });
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(link->is_up());
+  EXPECT_TRUE(link->direction_up(Link::Direction::kAToB));
+}
+
+TEST(Unidirectional, ReverseDirectionIsDead) {
+  sim::Simulator sim(1);
+  Network net(sim);
+  auto& a = net.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& b = net.add_switch("b", Ipv4Addr(10, 12, 1, 1));
+  Link& link = net.connect_default(a, b);
+
+  link.set_direction_up(Link::Direction::kAToB, false);
+  Packet p;
+  p.dst = b.router_id();
+  p.proto = Protocol::kRouting;
+  sim.at(0, [&] { a.send(0, p); });
+  sim.run();
+  EXPECT_EQ(b.counters().control_in, 0u);
+  EXPECT_GE(link.dropped_down(), 1u);
+  // The other direction still delivers.
+  Packet q;
+  q.dst = a.router_id();
+  q.proto = Protocol::kRouting;
+  sim.at(sim.now() + 1, [&] { b.send(0, q); });
+  sim.run();
+  EXPECT_EQ(a.counters().control_in, 1u);
+}
+
+TEST(Unidirectional, AggregateObserverFiresOncePerSessionTransition) {
+  sim::Simulator sim(1);
+  Network net(sim);
+  auto& a = net.add_switch("a", Ipv4Addr(10, 12, 0, 1));
+  auto& b = net.add_switch("b", Ipv4Addr(10, 12, 1, 1));
+  Link& link = net.connect_default(a, b);
+  int events = 0;
+  link.add_observer([&](Link&, bool) { ++events; });
+
+  link.set_direction_up(Link::Direction::kAToB, false);  // session down
+  EXPECT_EQ(events, 1);
+  link.set_direction_up(Link::Direction::kBToA, false);  // already down
+  EXPECT_EQ(events, 1);
+  link.set_direction_up(Link::Direction::kAToB, true);  // still half-dead
+  EXPECT_EQ(events, 1);
+  link.set_direction_up(Link::Direction::kBToA, true);  // session up
+  EXPECT_EQ(events, 2);
+}
+
+/// The future-work scenario end-to-end: a unidirectional cut of the
+/// downward agg->ToR direction. BFD-style detection declares the session
+/// down on both ends, so F²Tree fast-reroutes exactly as it does for the
+/// bidirectional case.
+TEST(Unidirectional, F2TreeFastReroutesAroundDownwardDirectionCut) {
+  core::Testbed bed([](net::Network& n) { return topo::build_f2tree(n, 8); });
+  bed.converge();
+  const auto plan =
+      failure::build_condition(bed.topo(), failure::Condition::kC1);
+  ASSERT_TRUE(plan.has_value());
+
+  transport::UdpSink sink(bed.stack_of(*plan->dst), plan->dport);
+  transport::UdpCbrSender::Options so;
+  so.sport = plan->sport;
+  so.dport = plan->dport;
+  so.stop = sim::seconds(2);
+  transport::UdpCbrSender sender(bed.stack_of(*plan->src), plan->dst->addr(),
+                                 so);
+  sender.start();
+
+  // Cut only Sx -> dst ToR (the direction the flow uses).
+  bed.injector().fail_direction_at(*plan->fail_links.front(), *plan->sx,
+                                   sim::millis(380));
+  bed.sim().run(sim::seconds(3));
+
+  std::vector<sim::Time> arrivals;
+  for (const auto& a : sink.arrivals()) arrivals.push_back(a.at);
+  const auto loss = stats::find_connectivity_loss(arrivals, sim::millis(380));
+  ASSERT_TRUE(loss.has_value());
+  EXPECT_GE(loss->duration(), sim::millis(55));
+  EXPECT_LE(loss->duration(), sim::millis(70));
+}
+
+TEST(Unidirectional, FatTreeStillWaitsForControlPlane) {
+  core::Testbed bed([](net::Network& n) {
+    return topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+  });
+  bed.converge();
+  const auto plan =
+      failure::build_condition(bed.topo(), failure::Condition::kC1);
+  ASSERT_TRUE(plan.has_value());
+
+  transport::UdpSink sink(bed.stack_of(*plan->dst), plan->dport);
+  transport::UdpCbrSender::Options so;
+  so.sport = plan->sport;
+  so.dport = plan->dport;
+  so.stop = sim::seconds(2);
+  transport::UdpCbrSender sender(bed.stack_of(*plan->src), plan->dst->addr(),
+                                 so);
+  sender.start();
+  bed.injector().fail_direction_at(*plan->fail_links.front(), *plan->sx,
+                                   sim::millis(380));
+  bed.sim().run(sim::seconds(3));
+
+  std::vector<sim::Time> arrivals;
+  for (const auto& a : sink.arrivals()) arrivals.push_back(a.at);
+  const auto loss = stats::find_connectivity_loss(arrivals, sim::millis(380));
+  ASSERT_TRUE(loss.has_value());
+  EXPECT_GE(loss->duration(), sim::millis(260));
+}
+
+}  // namespace
+}  // namespace f2t::net

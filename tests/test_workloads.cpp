@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+
+namespace f2t::transport {
+namespace {
+
+core::Testbed make_f2_8() {
+  return core::Testbed(
+      [](net::Network& n) { return topo::build_f2tree(n, 8); });
+}
+
+TEST(PartitionAggregate, AllRequestsCompleteWithoutFailures) {
+  auto bed = make_f2_8();
+  bed.converge();
+  PartitionAggregateOptions opts;
+  opts.stop = sim::seconds(20);
+  opts.mean_interarrival = sim::millis(100);
+  PartitionAggregateApp app(bed.stacks(), sim::Random(3), opts);
+  app.start();
+  bed.sim().run(sim::seconds(25));
+
+  EXPECT_GT(app.issued_count(), 100u);
+  EXPECT_EQ(app.completed_count(), app.issued_count());
+  EXPECT_DOUBLE_EQ(app.deadline_miss_ratio(sim::seconds(25)), 0.0);
+  // Unloaded completion is a handful of RTTs, far below the deadline.
+  const auto times = app.completion_times();
+  EXPECT_LT(times.back(), sim::millis(50));
+}
+
+TEST(PartitionAggregate, SingleFailureCausesMissesInFatTreeOnly) {
+  // Sustained request load through one long downward-link failure: the
+  // fat tree misses deadlines for requests caught in the outage; F²Tree
+  // fast-reroutes and (detection being 60 ms < the 250 ms deadline)
+  // misses none. This is the Fig 6(a) mechanism in miniature.
+  auto run = [](bool f2) {
+    core::Testbed bed([f2](net::Network& n) {
+      return f2 ? topo::build_f2tree(n, 8)
+                : topo::build_fat_tree(n, topo::FatTreeOptions{.ports = 8});
+    });
+    bed.converge();
+    PartitionAggregateOptions opts;
+    opts.stop = sim::seconds(60);
+    opts.mean_interarrival = sim::millis(20);
+    PartitionAggregateApp app(bed.stacks(), sim::Random(17), opts);
+    app.start();
+    // Flap one agg->ToR downward link repeatedly: each fresh failure
+    // reopens the recovery window (~270 ms in fat tree, ~60 ms in F²Tree)
+    // that in-flight requests fall into.
+    auto& topo = bed.topo();
+    net::Link* link =
+        bed.network().find_link(*topo.pods[0].aggs[0], *topo.pods[0].tors[0]);
+    for (int k = 0; k < 10; ++k) {
+      bed.injector().fail_for(*link, sim::seconds(5 + 5 * k),
+                              sim::seconds(2));
+    }
+    bed.sim().run(sim::seconds(70));
+    return app.deadline_miss_ratio(sim::seconds(70));
+  };
+
+  const double fat_miss = run(false);
+  const double f2_miss = run(true);
+  EXPECT_GT(fat_miss, 0.0);
+  EXPECT_LT(f2_miss, fat_miss);
+}
+
+TEST(PartitionAggregate, RejectsTooFewHosts) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& sw = net.add_switch("sw", net::Ipv4Addr(10, 12, 0, 1));
+  auto& h1 = net.add_host("h1", net::Ipv4Addr(10, 11, 0, 10), &sw);
+  HostStack s1(h1);
+  PartitionAggregateOptions opts;
+  EXPECT_THROW(PartitionAggregateApp({&s1}, sim::Random(1), opts),
+               std::invalid_argument);
+}
+
+TEST(BackgroundTraffic, FlowsCompleteAndFollowDistribution) {
+  auto bed = make_f2_8();
+  bed.converge();
+  BackgroundTrafficOptions opts;
+  opts.stop = sim::seconds(30);
+  opts.interarrival_median_s = 0.1;
+  BackgroundTraffic bg(bed.stacks(), sim::Random(5), opts);
+  bg.start();
+  bed.sim().run(sim::seconds(60));
+
+  ASSERT_GT(bg.flows().size(), 100u);
+  EXPECT_EQ(bg.completed_count(), bg.flows().size());
+  // Median of log-normal sizes should be near the configured median.
+  std::vector<std::uint64_t> sizes;
+  for (const auto& f : bg.flows()) sizes.push_back(f.bytes);
+  std::sort(sizes.begin(), sizes.end());
+  const double median = static_cast<double>(sizes[sizes.size() / 2]);
+  EXPECT_GT(median, opts.size_median_bytes * 0.6);
+  EXPECT_LT(median, opts.size_median_bytes * 1.7);
+}
+
+TEST(BackgroundTraffic, RejectsSingleHost) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& sw = net.add_switch("sw", net::Ipv4Addr(10, 12, 0, 1));
+  auto& h1 = net.add_host("h1", net::Ipv4Addr(10, 11, 0, 10), &sw);
+  HostStack s1(h1);
+  EXPECT_THROW(
+      BackgroundTraffic({&s1}, sim::Random(1), BackgroundTrafficOptions{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2t::transport

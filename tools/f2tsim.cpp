@@ -1,0 +1,218 @@
+/// f2tsim — command-line front end to the F²Tree reproduction library.
+///
+/// Commands:
+///   f2tsim recover  --topo f2 --ports 8 --condition C1 --control ospf
+///                   [--proto udp|tcp] [--detection-ms 60] [--spf-ms 200]
+///                   [--ring-width 2] [--aspen-f 1] [--csv]
+///   f2tsim workload --topo f2 --ports 8 --seconds 60 --cf 1 [--seed 1]
+///   f2tsim topo     --topo f2 --ports 8 [--dot]
+///   f2tsim table1   --ports 8 [--aspen-f 1]
+///
+/// Every command maps onto the same library calls the benches and tests
+/// use, so a CLI run is exactly reproducible in code.
+
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+#include "topo/graphviz.hpp"
+
+using namespace f2t;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: f2tsim <recover|workload|topo|table1> [options]\n"
+      "  recover  --topo NAME --ports N --condition C1..C7\n"
+      "           [--control ospf|central|bgp] [--proto udp|tcp]\n"
+      "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
+      "           [--aspen-f 1] [--seed 1] [--csv]\n"
+      "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
+      "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
+      "  table1   --ports N [--aspen-f 1]\n"
+      "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n";
+  return 2;
+}
+
+failure::Condition parse_condition(const std::string& text) {
+  using failure::Condition;
+  static const std::map<std::string, Condition> table{
+      {"C1", Condition::kC1}, {"C2", Condition::kC2}, {"C3", Condition::kC3},
+      {"C4", Condition::kC4}, {"C5", Condition::kC5}, {"C6", Condition::kC6},
+      {"C7", Condition::kC7}};
+  const auto it = table.find(text);
+  if (it == table.end()) {
+    throw std::invalid_argument("unknown condition: " + text);
+  }
+  return it->second;
+}
+
+core::ControlPlane parse_control(const std::string& text) {
+  if (text == "ospf") return core::ControlPlane::kOspf;
+  if (text == "central") return core::ControlPlane::kCentral;
+  if (text == "bgp") return core::ControlPlane::kPathVector;
+  throw std::invalid_argument("unknown control plane: " + text);
+}
+
+int cmd_recover(core::Cli& cli) {
+  const auto builder = core::topology_builder(
+      cli.get("topo", "f2"), cli.get_int("ports", 8),
+      cli.get_int("ring-width", 2), cli.get_int("aspen-f", 1));
+  const auto condition = parse_condition(cli.get("condition", "C1"));
+  const std::string proto = cli.get("proto", "udp");
+  const bool csv = cli.get_flag("csv");
+
+  core::RunKnobs knobs;
+  knobs.config.control_plane = parse_control(cli.get("control", "ospf"));
+  knobs.config.detection.down_delay =
+      sim::millis(cli.get_int("detection-ms", 60));
+  knobs.config.detection.up_delay = knobs.config.detection.down_delay;
+  knobs.config.ospf.throttle.initial_delay =
+      sim::millis(cli.get_int("spf-ms", 200));
+  knobs.config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return usage();
+  }
+
+  stats::Table table({"metric", "value"});
+  if (proto == "udp") {
+    const auto r = core::run_udp_condition(builder, condition, knobs);
+    if (!r.ok) {
+      std::cerr << "scenario construction failed (condition not applicable "
+                   "to this topology?)\n";
+      return 1;
+    }
+    table.row({"scenario", r.scenario});
+    table.row({"connectivity loss",
+               sim::format_time(r.connectivity_loss)});
+    table.row({"packets sent", std::to_string(r.packets_sent)});
+    table.row({"packets lost", std::to_string(r.packets_lost)});
+  } else if (proto == "tcp") {
+    const auto r = core::run_tcp_condition(builder, condition, knobs);
+    if (!r.ok) {
+      std::cerr << "scenario construction failed\n";
+      return 1;
+    }
+    table.row({"throughput collapse", sim::format_time(r.collapse)});
+    table.row({"rto fires", std::to_string(r.rto_fires)});
+  } else {
+    std::cerr << "unknown --proto " << proto << "\n";
+    return usage();
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_workload(core::Cli& cli) {
+  const auto builder = core::topology_builder(
+      cli.get("topo", "f2"), cli.get_int("ports", 8),
+      cli.get_int("ring-width", 2), cli.get_int("aspen-f", 1));
+  const int seconds = cli.get_int("seconds", 60);
+  const int cf = cli.get_int("cf", 1);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return usage();
+  }
+
+  core::TestbedConfig config;
+  config.seed = seed;
+  core::Testbed bed(builder, config);
+  bed.converge();
+
+  transport::PartitionAggregateOptions pa;
+  pa.start = sim::seconds(1);
+  pa.stop = sim::seconds(1 + seconds);
+  transport::PartitionAggregateApp app(bed.stacks(), sim::Random(seed + 1),
+                                       pa);
+  app.start();
+  transport::BackgroundTrafficOptions bg;
+  bg.start = pa.start;
+  bg.stop = pa.stop;
+  transport::BackgroundTraffic background(bed.stacks(), sim::Random(seed + 2),
+                                          bg);
+  background.start();
+  failure::RandomFailureOptions rf;
+  rf.start = sim::seconds(2);
+  rf.stop = pa.stop;
+  rf.max_concurrent = cf;
+  failure::RandomFailureGenerator failures(bed.injector(),
+                                           sim::Random(seed + 3), rf);
+  failures.start();
+  bed.sim().run(pa.stop + sim::seconds(20));
+
+  stats::Table table({"metric", "value"});
+  table.row({"requests", std::to_string(app.issued_count())});
+  table.row({"completed", std::to_string(app.completed_count())});
+  table.row({"failures injected", std::to_string(failures.failures_injected())});
+  table.row({"deadline miss ratio",
+             stats::Table::percent(
+                 app.deadline_miss_ratio(pa.stop + sim::seconds(20)), 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_topo(core::Cli& cli) {
+  const auto builder = core::topology_builder(
+      cli.get("topo", "f2"), cli.get_int("ports", 8),
+      cli.get_int("ring-width", 2), cli.get_int("aspen-f", 1));
+  const bool dot = cli.get_flag("dot");
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return usage();
+  }
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto topo = builder(net);
+  if (dot) {
+    topo::write_graphviz(std::cout, topo);
+  } else {
+    std::cout << topo.summary() << "\n";
+    const auto violations = topo::validate_topology(topo);
+    for (const auto& v : violations) std::cout << "VIOLATION: " << v << "\n";
+  }
+  return 0;
+}
+
+int cmd_table1(core::Cli& cli) {
+  const int ports = cli.get_int("ports", 8);
+  const int f = cli.get_int("aspen-f", 1);
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return usage();
+  }
+  stats::Table table({"Solution", "Switches", "Nodes", "Modify routing",
+                      "Modify data plane"});
+  for (const auto& row : core::table1(ports, f)) {
+    table.row({row.name, stats::Table::num(row.switches, 0),
+               stats::Table::num(row.nodes, 0), row.modifies_routing,
+               row.modifies_data_plane});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    core::Cli cli(argc, argv);
+    if (!cli.has_command()) return usage();
+    if (cli.command() == "recover") return cmd_recover(cli);
+    if (cli.command() == "workload") return cmd_workload(cli);
+    if (cli.command() == "topo") return cmd_topo(cli);
+    if (cli.command() == "table1") return cmd_table1(cli);
+    std::cerr << "unknown command: " << cli.command() << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
