@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_conditions.dir/bench_fig4_conditions.cpp.o"
+  "CMakeFiles/bench_fig4_conditions.dir/bench_fig4_conditions.cpp.o.d"
+  "bench_fig4_conditions"
+  "bench_fig4_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

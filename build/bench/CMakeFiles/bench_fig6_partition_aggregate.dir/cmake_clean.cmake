@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partition_aggregate.dir/bench_fig6_partition_aggregate.cpp.o"
+  "CMakeFiles/bench_fig6_partition_aggregate.dir/bench_fig6_partition_aggregate.cpp.o.d"
+  "bench_fig6_partition_aggregate"
+  "bench_fig6_partition_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partition_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

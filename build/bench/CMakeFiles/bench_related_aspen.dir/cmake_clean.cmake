@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_aspen.dir/bench_related_aspen.cpp.o"
+  "CMakeFiles/bench_related_aspen.dir/bench_related_aspen.cpp.o.d"
+  "bench_related_aspen"
+  "bench_related_aspen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_aspen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

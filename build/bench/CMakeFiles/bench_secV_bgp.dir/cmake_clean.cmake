@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secV_bgp.dir/bench_secV_bgp.cpp.o"
+  "CMakeFiles/bench_secV_bgp.dir/bench_secV_bgp.cpp.o.d"
+  "bench_secV_bgp"
+  "bench_secV_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secV_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secV_central.dir/bench_secV_central.cpp.o"
+  "CMakeFiles/bench_secV_central.dir/bench_secV_central.cpp.o.d"
+  "bench_secV_central"
+  "bench_secV_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secV_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

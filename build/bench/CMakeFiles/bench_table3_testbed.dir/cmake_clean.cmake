@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_testbed.dir/bench_table3_testbed.cpp.o"
+  "CMakeFiles/bench_table3_testbed.dir/bench_table3_testbed.cpp.o.d"
+  "bench_table3_testbed"
+  "bench_table3_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

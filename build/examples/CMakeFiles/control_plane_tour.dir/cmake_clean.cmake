@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_plane_tour.dir/control_plane_tour.cpp.o"
+  "CMakeFiles/control_plane_tour.dir/control_plane_tour.cpp.o.d"
+  "control_plane_tour"
+  "control_plane_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_plane_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_aggregate_sim.dir/partition_aggregate_sim.cpp.o"
+  "CMakeFiles/partition_aggregate_sim.dir/partition_aggregate_sim.cpp.o.d"
+  "partition_aggregate_sim"
+  "partition_aggregate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_aggregate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

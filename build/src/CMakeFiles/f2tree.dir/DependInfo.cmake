@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cpp" "src/CMakeFiles/f2tree.dir/core/cli.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/core/cli.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/f2tree.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/f2tree.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/scalability.cpp" "src/CMakeFiles/f2tree.dir/core/scalability.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/core/scalability.cpp.o.d"
+  "/root/repo/src/failure/injector.cpp" "src/CMakeFiles/f2tree.dir/failure/injector.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/failure/injector.cpp.o.d"
+  "/root/repo/src/failure/random_failures.cpp" "src/CMakeFiles/f2tree.dir/failure/random_failures.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/failure/random_failures.cpp.o.d"
+  "/root/repo/src/failure/scenarios.cpp" "src/CMakeFiles/f2tree.dir/failure/scenarios.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/failure/scenarios.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/f2tree.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/f2tree.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/l3switch.cpp" "src/CMakeFiles/f2tree.dir/net/l3switch.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/l3switch.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/f2tree.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/f2tree.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/f2tree.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/f2tree.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/f2tree.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/f2tree.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/net/trace.cpp.o.d"
+  "/root/repo/src/routing/central.cpp" "src/CMakeFiles/f2tree.dir/routing/central.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/central.cpp.o.d"
+  "/root/repo/src/routing/detection.cpp" "src/CMakeFiles/f2tree.dir/routing/detection.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/detection.cpp.o.d"
+  "/root/repo/src/routing/ecmp.cpp" "src/CMakeFiles/f2tree.dir/routing/ecmp.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/ecmp.cpp.o.d"
+  "/root/repo/src/routing/fib.cpp" "src/CMakeFiles/f2tree.dir/routing/fib.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/fib.cpp.o.d"
+  "/root/repo/src/routing/lsa.cpp" "src/CMakeFiles/f2tree.dir/routing/lsa.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/lsa.cpp.o.d"
+  "/root/repo/src/routing/lsdb.cpp" "src/CMakeFiles/f2tree.dir/routing/lsdb.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/lsdb.cpp.o.d"
+  "/root/repo/src/routing/ospf.cpp" "src/CMakeFiles/f2tree.dir/routing/ospf.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/ospf.cpp.o.d"
+  "/root/repo/src/routing/pathvector.cpp" "src/CMakeFiles/f2tree.dir/routing/pathvector.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/pathvector.cpp.o.d"
+  "/root/repo/src/routing/route.cpp" "src/CMakeFiles/f2tree.dir/routing/route.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/route.cpp.o.d"
+  "/root/repo/src/routing/spf.cpp" "src/CMakeFiles/f2tree.dir/routing/spf.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/spf.cpp.o.d"
+  "/root/repo/src/routing/spf_throttle.cpp" "src/CMakeFiles/f2tree.dir/routing/spf_throttle.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/routing/spf_throttle.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/f2tree.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/f2tree.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/f2tree.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/f2tree.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/f2tree.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/flow_metrics.cpp" "src/CMakeFiles/f2tree.dir/stats/flow_metrics.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/stats/flow_metrics.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/f2tree.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/f2tree.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/topo/aspen.cpp" "src/CMakeFiles/f2tree.dir/topo/aspen.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/aspen.cpp.o.d"
+  "/root/repo/src/topo/backup_routes.cpp" "src/CMakeFiles/f2tree.dir/topo/backup_routes.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/backup_routes.cpp.o.d"
+  "/root/repo/src/topo/f2tree.cpp" "src/CMakeFiles/f2tree.dir/topo/f2tree.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/f2tree.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/f2tree.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/graphviz.cpp" "src/CMakeFiles/f2tree.dir/topo/graphviz.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/graphviz.cpp.o.d"
+  "/root/repo/src/topo/leafspine.cpp" "src/CMakeFiles/f2tree.dir/topo/leafspine.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/leafspine.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/f2tree.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/validate.cpp" "src/CMakeFiles/f2tree.dir/topo/validate.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/validate.cpp.o.d"
+  "/root/repo/src/topo/vl2.cpp" "src/CMakeFiles/f2tree.dir/topo/vl2.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/topo/vl2.cpp.o.d"
+  "/root/repo/src/transport/app.cpp" "src/CMakeFiles/f2tree.dir/transport/app.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/transport/app.cpp.o.d"
+  "/root/repo/src/transport/background.cpp" "src/CMakeFiles/f2tree.dir/transport/background.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/transport/background.cpp.o.d"
+  "/root/repo/src/transport/partition_aggregate.cpp" "src/CMakeFiles/f2tree.dir/transport/partition_aggregate.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/transport/partition_aggregate.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/CMakeFiles/f2tree.dir/transport/tcp.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/transport/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp_app.cpp" "src/CMakeFiles/f2tree.dir/transport/udp_app.cpp.o" "gcc" "src/CMakeFiles/f2tree.dir/transport/udp_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

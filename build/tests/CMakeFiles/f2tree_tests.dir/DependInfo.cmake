@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aspen.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_aspen.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_aspen.cpp.o.d"
+  "/root/repo/tests/test_central.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_central.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_central.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_control_planes_unit.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_control_planes_unit.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_control_planes_unit.cpp.o.d"
+  "/root/repo/tests/test_dctcp.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_dctcp.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_dctcp.cpp.o.d"
+  "/root/repo/tests/test_delack_refresh.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_delack_refresh.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_delack_refresh.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fib.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_fib.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_fib.cpp.o.d"
+  "/root/repo/tests/test_fib_property.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_fib_property.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_fib_property.cpp.o.d"
+  "/root/repo/tests/test_fig4_matrix.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_fig4_matrix.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_fig4_matrix.cpp.o.d"
+  "/root/repo/tests/test_final_units.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_final_units.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_final_units.cpp.o.d"
+  "/root/repo/tests/test_flooding.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_flooding.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_flooding.cpp.o.d"
+  "/root/repo/tests/test_integration_recovery.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_integration_recovery.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_integration_recovery.cpp.o.d"
+  "/root/repo/tests/test_integration_tcp.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_integration_tcp.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_integration_tcp.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_more_units.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_more_units.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_more_units.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_ospf.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_ospf.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_ospf.cpp.o.d"
+  "/root/repo/tests/test_pathvector.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_pathvector.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_pathvector.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_property.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_sim_property.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_sim_property.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_spf_unit.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_spf_unit.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_spf_unit.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_tcp_reroute.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_tcp_reroute.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_tcp_reroute.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_unidirectional.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_unidirectional.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_unidirectional.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/f2tree_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/f2tree_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/f2tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

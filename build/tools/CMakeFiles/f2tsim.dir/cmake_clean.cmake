@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2tsim.dir/f2tsim.cpp.o"
+  "CMakeFiles/f2tsim.dir/f2tsim.cpp.o.d"
+  "f2tsim"
+  "f2tsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2tsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
