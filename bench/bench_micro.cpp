@@ -1,20 +1,91 @@
 /// Substrate micro-benchmarks (google-benchmark): FIB longest-prefix
-/// match, ECMP hashing, SPF computation, event-queue throughput and
-/// topology construction. These back the claim that the simulator is a
+/// match (legacy allocating API, allocation-free lookup_into, and the
+/// cached resolved-route fast path), ECMP hashing, SPF computation and
+/// its first-hop set representation, event-queue throughput and topology
+/// construction. These back the claim that the simulator is a
 /// packet-level engine fast enough for the paper's 600 s emulations.
+///
+/// Unlike the figure/table benches this binary has a custom main: it runs
+/// the registered benchmarks through a collecting reporter, derives the
+/// fast-path speedup ratios, and writes BENCH_micro.json (see
+/// bench_util.hpp) so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <iostream>
+#include <set>
+#include <unordered_map>
+
+#include "bench_util.hpp"
 #include "core/f2tree.hpp"
 #include "routing/ecmp.hpp"
+#include "routing/route_cache.hpp"
 
 using namespace f2t;
 
 namespace {
 
-void BM_FibLookup(benchmark::State& state) {
-  routing::Fib fib;
-  const int n = static_cast<int>(state.range(0));
+/// Faithful replica of the seed's Fib lookup path (pre fast-path): probes
+/// all 33 prefix lengths longest-first, rescans each slot for the best
+/// source, takes a std::function liveness predicate and heap-allocates the
+/// result. Kept here so BENCH_micro.json records the speedup against the
+/// true baseline even though the library has moved on.
+class SeedFib {
+ public:
+  using PortUpFn = std::function<bool(net::PortId)>;
+
+  void install(routing::Route route) {
+    std::sort(route.next_hops.begin(), route.next_hops.end());
+    Slot& slot = by_length_[static_cast<std::size_t>(route.prefix.length())]
+                           [route.prefix.address().value()];
+    for (routing::Route& r : slot.by_source) {
+      if (r.source == route.source) {
+        r = std::move(route);
+        return;
+      }
+    }
+    slot.by_source.push_back(std::move(route));
+  }
+
+  std::vector<routing::NextHop> lookup(net::Ipv4Addr dst,
+                                       const PortUpFn& port_up) const {
+    for (int length = 32; length >= 0; --length) {
+      const auto& bucket = by_length_[static_cast<std::size_t>(length)];
+      if (bucket.empty()) continue;
+      const std::uint32_t mask =
+          length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+      const auto it = bucket.find(dst.value() & mask);
+      if (it == bucket.end()) continue;
+      const routing::Route* best = nullptr;
+      for (const routing::Route& r : it->second.by_source) {
+        if (best == nullptr ||
+            static_cast<int>(r.source) < static_cast<int>(best->source)) {
+          best = &r;
+        }
+      }
+      if (best == nullptr) continue;
+      std::vector<routing::NextHop> usable;
+      usable.reserve(best->next_hops.size());
+      for (const routing::NextHop& nh : best->next_hops) {
+        if (!port_up || port_up(nh.port)) usable.push_back(nh);
+      }
+      if (!usable.empty()) return usable;
+    }
+    return {};
+  }
+
+ private:
+  struct Slot {
+    std::vector<routing::Route> by_source;
+  };
+  std::array<std::unordered_map<std::uint32_t, Slot>, 33> by_length_;
+};
+
+template <typename FibLike>
+FibLike make_bench_fib_like(int n) {
+  FibLike fib;
   for (int i = 0; i < n; ++i) {
     fib.install(routing::Route{
         net::Prefix(net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(i % 256),
@@ -26,6 +97,29 @@ void BM_FibLookup(benchmark::State& state) {
   fib.install(routing::Route{net::Prefix::parse("10.11.0.0/16"),
                              {routing::NextHop{9, {}}},
                              routing::RouteSource::kStatic});
+  return fib;
+}
+
+// The seed implementation, replicated above: the denominator every
+// fast-path speedup in BENCH_micro.json is measured against.
+void BM_FibLookupSeed(benchmark::State& state) {
+  const auto fib = make_bench_fib_like<SeedFib>(static_cast<int>(state.range(0)));
+  auto up = [](net::PortId) { return true; };
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(10, 11, static_cast<std::uint8_t>(i++ % 256), 7);
+    benchmark::DoNotOptimize(fib.lookup(dst, up));
+  }
+}
+BENCHMARK(BM_FibLookupSeed)->Arg(32)->Arg(256);
+
+routing::Fib make_bench_fib(int n) {
+  return make_bench_fib_like<routing::Fib>(n);
+}
+
+// The seed-era API: std::function predicate, heap-allocated result.
+void BM_FibLookup(benchmark::State& state) {
+  const routing::Fib fib = make_bench_fib(static_cast<int>(state.range(0)));
   auto up = [](net::PortId) { return true; };
   std::uint32_t i = 0;
   for (auto _ : state) {
@@ -34,6 +128,55 @@ void BM_FibLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FibLookup)->Arg(32)->Arg(256);
+
+// Allocation-free walk: bool-vector port view, SmallVec result reused
+// across lookups.
+void BM_FibLookupInto(benchmark::State& state) {
+  const routing::Fib fib = make_bench_fib(static_cast<int>(state.range(0)));
+  const std::vector<bool> ports(16, true);
+  const routing::Fib::PortStateView view{&ports};
+  routing::Fib::HopVec hops;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(10, 11, static_cast<std::uint8_t>(i++ % 256), 7);
+    hops.clear();
+    fib.lookup_into(dst, view, hops);
+    benchmark::DoNotOptimize(hops.data());
+  }
+}
+BENCHMARK(BM_FibLookupInto)->Arg(32)->Arg(256);
+
+// The forwarding fast path proper: resolved-route cache in front of the
+// allocation-free walk; steady state is all hits.
+void BM_FibLookupResolved(benchmark::State& state) {
+  const routing::Fib fib = make_bench_fib(static_cast<int>(state.range(0)));
+  const std::vector<bool> ports(16, true);
+  const routing::Fib::PortStateView view{&ports};
+  routing::ResolvedRouteCache cache;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(10, 11, static_cast<std::uint8_t>(i++ % 256), 7);
+    benchmark::DoNotOptimize(cache.resolve(fib, dst, view, 0).data());
+  }
+}
+BENCHMARK(BM_FibLookupResolved)->Arg(32)->Arg(256);
+
+// Worst case for the cache: every lookup happens under a fresh port
+// epoch (as right after a detection event), so every resolve misses and
+// re-walks. Measures the cache's overhead over the bare walk.
+void BM_FibLookupResolvedInvalidated(benchmark::State& state) {
+  const routing::Fib fib = make_bench_fib(static_cast<int>(state.range(0)));
+  const std::vector<bool> ports(16, true);
+  const routing::Fib::PortStateView view{&ports};
+  routing::ResolvedRouteCache cache;
+  std::uint64_t epoch = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(10, 11, static_cast<std::uint8_t>(i++ % 256), 7);
+    benchmark::DoNotOptimize(cache.resolve(fib, dst, view, ++epoch).data());
+  }
+}
+BENCHMARK(BM_FibLookupResolvedInvalidated)->Arg(256);
 
 void BM_FibLookupFallthrough(benchmark::State& state) {
   // The fast-reroute path: the /24 is dead, lookup falls to the statics.
@@ -53,6 +196,32 @@ void BM_FibLookupFallthrough(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FibLookupFallthrough);
+
+// Same fall-through resolved through the cache: after the first miss the
+// backup answer is served from the cache (port state is unchanged, so the
+// stamp stays valid — exactly the steady state between detection and the
+// control plane's eventual FIB rewrite).
+void BM_FibLookupFallthroughResolved(benchmark::State& state) {
+  routing::Fib fib;
+  fib.install(routing::Route{net::Prefix::parse("10.11.3.0/24"),
+                             {routing::NextHop{0, {}}},
+                             routing::RouteSource::kOspf});
+  fib.install(routing::Route{net::Prefix::parse("10.11.0.0/16"),
+                             {routing::NextHop{1, {}}},
+                             routing::RouteSource::kStatic});
+  fib.install(routing::Route{net::Prefix::parse("10.10.0.0/15"),
+                             {routing::NextHop{2, {}}},
+                             routing::RouteSource::kStatic});
+  std::vector<bool> ports(16, true);
+  ports[0] = false;
+  const routing::Fib::PortStateView view{&ports};
+  routing::ResolvedRouteCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.resolve(fib, net::Ipv4Addr(10, 11, 3, 9), view, 1).data());
+  }
+}
+BENCHMARK(BM_FibLookupFallthroughResolved);
 
 void BM_EcmpHash(benchmark::State& state) {
   net::Packet p;
@@ -96,6 +265,42 @@ void BM_Spf(benchmark::State& state) {
 }
 BENCHMARK(BM_Spf)->Arg(8)->Arg(16);
 
+// First-hop set representations head to head: the union/insert pattern
+// Dijkstra's relaxation performs, on the seed's std::set<Ipv4Addr> vs the
+// inline sorted vector compute_spf uses now. 8 ECMP members, 16 unions —
+// roughly one destination's worth of relaxations in a k=16 fat tree.
+void BM_SpfFirstHopsStdSet(benchmark::State& state) {
+  for (auto _ : state) {
+    std::set<net::Ipv4Addr> acc;
+    std::set<net::Ipv4Addr> member;
+    for (std::uint32_t i = 0; i < 8; ++i) member.insert(net::Ipv4Addr(i * 7));
+    for (int round = 0; round < 16; ++round) {
+      acc.insert(member.begin(), member.end());
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+}
+BENCHMARK(BM_SpfFirstHopsStdSet);
+
+void BM_SpfFirstHopsSmallVec(benchmark::State& state) {
+  for (auto _ : state) {
+    routing::SmallVec<std::uint16_t, 8> acc;
+    routing::SmallVec<std::uint16_t, 8> member;
+    for (std::uint16_t i = 0; i < 8; ++i) member.push_back(i);
+    for (int round = 0; round < 16; ++round) {
+      for (const std::uint16_t x : member) {
+        const auto it = std::lower_bound(acc.begin(), acc.end(), x);
+        if (it != acc.end() && *it == x) continue;
+        const auto pos = static_cast<std::size_t>(it - acc.begin());
+        acc.push_back(x);
+        std::rotate(acc.begin() + pos, acc.end() - 1, acc.end());
+      }
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+}
+BENCHMARK(BM_SpfFirstHopsSmallVec);
+
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Scheduler sched;
@@ -108,6 +313,25 @@ void BM_SchedulerChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedulerChurn);
+
+// The one-shot-timer pattern everywhere in the transport layer: schedule,
+// maybe fire, cancel late. Exercises the in-heap id tracking that makes a
+// late cancel a true no-op.
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sched.schedule_at(i * 10, [] {}));
+    }
+    for (int i = 0; i < 1000; i += 2) sched.cancel(ids[i]);
+    sched.run();
+    for (const auto id : ids) sched.cancel(id);  // all late: true no-ops
+    benchmark::DoNotOptimize(sched.cancelled_backlog());
+  }
+}
+BENCHMARK(BM_SchedulerCancelChurn);
 
 void BM_BuildTopology(benchmark::State& state) {
   const int ports = static_cast<int>(state.range(0));
@@ -139,6 +363,69 @@ void BM_EndToEndUdpSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndUdpSecond)->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus every run captured as a BenchResult.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      results.push_back(f2t::bench::BenchResult{
+          run.benchmark_name(), "real_time", run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<f2t::bench::BenchResult> results;
+};
+
+double find_time(const std::vector<f2t::bench::BenchResult>& results,
+                 const std::string& name) {
+  for (const auto& r : results) {
+    if (r.name == name && r.metric == "real_time") return r.value;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  auto results = reporter.results;
+  // Derived fast-path ratios (only when both sides ran, e.g. not under a
+  // --benchmark_filter that excludes them).
+  const struct {
+    const char* name;
+    const char* numer;
+    const char* denom;
+  } ratios[] = {
+      {"FibLookupResolved_speedup/256", "BM_FibLookupSeed/256",
+       "BM_FibLookupResolved/256"},
+      {"FibLookupInto_speedup/256", "BM_FibLookupSeed/256",
+       "BM_FibLookupInto/256"},
+      {"FibLookupResolved_vs_current_legacy/256", "BM_FibLookup/256",
+       "BM_FibLookupResolved/256"},
+      {"SpfFirstHopsSmallVec_speedup", "BM_SpfFirstHopsStdSet",
+       "BM_SpfFirstHopsSmallVec"},
+  };
+  for (const auto& ratio : ratios) {
+    const double numer = find_time(results, ratio.numer);
+    const double denom = find_time(results, ratio.denom);
+    if (numer > 0 && denom > 0) {
+      results.push_back(
+          f2t::bench::BenchResult{ratio.name, "speedup", numer / denom, "x"});
+    }
+  }
+
+  if (!f2t::bench::write_bench_json("micro", results)) {
+    std::cerr << "bench_micro: failed to write BENCH_micro.json\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_micro.json (" << results.size() << " results)\n";
+  return 0;
+}

@@ -1,20 +1,82 @@
 #!/usr/bin/env bash
-# Regenerates every paper artifact and the test report into ./results/.
-# Usage: scripts/run_all.sh [build-dir]
+# Regenerates every paper artifact and the test report into ./results/,
+# then smoke-tests the perf fast path: a Release (-O2/-O3 -DNDEBUG) build
+# runs bench_micro and the run fails if any BENCH_*.json is missing or
+# malformed (each bench emits machine-readable results; see
+# bench/bench_util.hpp).
+# Usage: scripts/run_all.sh [build-dir] [release-build-dir]
 set -u
 BUILD="${1:-build}"
+RBUILD="${2:-build-release}"
 OUT=results
 mkdir -p "$OUT"
+fail=0
 
 echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
+[ "${PIPESTATUS[0]}" -eq 0 ] || fail=1
 
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "-- $name"
-  "$b" 2>&1 | tee "$OUT/$name.txt"
+  # Benches write their BENCH_<name>.json into the cwd.
+  (cd "$OUT" && "../$b") 2>&1 | tee "$OUT/$name.txt"
 done
 
+echo "== release bench smoke =="
+if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.txt" 2>&1 \
+    && cmake --build "$RBUILD" -j --target bench_micro >"$OUT/release_build.txt" 2>&1; then
+  mkdir -p "$OUT/release"
+  if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_micro" \
+        --benchmark_min_time=0.05) >"$OUT/release/bench_micro.txt" 2>&1; then
+    echo "release bench_micro FAILED (see $OUT/release/bench_micro.txt)"
+    fail=1
+  fi
+else
+  echo "release build FAILED (see $OUT/release_build.txt)"
+  fail=1
+fi
+
+echo "== bench json validation =="
+# The release smoke must have produced BENCH_micro.json, and every
+# BENCH_*.json anywhere under results/ must parse with the right schema.
+python3 - "$OUT" <<'EOF'
+import glob, json, os, sys
+
+out = sys.argv[1]
+paths = sorted(glob.glob(os.path.join(out, "**", "BENCH_*.json"), recursive=True))
+required = os.path.join(out, "release", "BENCH_micro.json")
+ok = True
+if required not in paths:
+    print(f"MISSING {required}: release bench_micro smoke produced no JSON")
+    ok = False
+for path in paths:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        for key in ("benchmark", "git_rev", "results"):
+            if key not in doc:
+                raise ValueError(f"missing key {key!r}")
+        if not isinstance(doc["results"], list) or not doc["results"]:
+            raise ValueError("empty results")
+        for r in doc["results"]:
+            for key in ("name", "metric", "value", "unit"):
+                if key not in r:
+                    raise ValueError(f"result missing key {key!r}")
+            if not isinstance(r["value"], (int, float)):
+                raise ValueError(f"non-numeric value in {r['name']}")
+        print(f"OK      {path} ({len(doc['results'])} results)")
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"BAD     {path}: {e}")
+        ok = False
+sys.exit(0 if ok else 1)
+EOF
+[ $? -eq 0 ] || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_all: FAILED (tests, release smoke, or bench json validation)"
+  exit 1
+fi
 echo "results written to $OUT/"

@@ -19,8 +19,7 @@ TracedPath trace_route_detailed(const net::Host& src, const net::Host& dst,
     if (current == &dst) return path;
     const auto* sw = dynamic_cast<const net::L3Switch*>(current);
     if (sw == nullptr) return {};  // ended on a wrong host
-    const auto next_hops = sw->fib().lookup(
-        probe.dst, [sw](net::PortId p) { return sw->port_detected_up(p); });
+    const auto& next_hops = sw->resolve_next_hops(probe.dst);
     if (next_hops.empty()) return {};
     const std::size_t pick = routing::ecmp_select(
         probe, static_cast<std::uint64_t>(sw->id()), next_hops.size());

@@ -22,9 +22,19 @@ void L3Switch::set_port_detected(PortId p, bool up) {
   ensure_port_state(p);
   if (detected_up_[p] == up) return;
   detected_up_[p] = up;
+  // Every transition invalidates the resolved-route cache: the paper's
+  // backup fall-through must engage on the very next lookup with zero FIB
+  // writes, so detection alone has to change the cache stamp.
+  ++port_epoch_;
   F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
           name() << ": port " << p << (up ? " detected up" : " detected down"));
   for (const auto& handler : port_state_handlers_) handler(p, up);
+}
+
+const routing::Fib::HopVec& L3Switch::resolve_next_hops(Ipv4Addr dst) const {
+  return route_cache_.resolve(fib_, dst,
+                              routing::Fib::PortStateView{&detected_up_},
+                              port_epoch_);
 }
 
 void L3Switch::receive(PortId p, Packet packet) {
@@ -47,18 +57,17 @@ bool L3Switch::forward(Packet packet, PortId ingress) {
             name() << ": TTL expired for " << packet.describe());
     return false;
   }
-  const auto next_hops = fib_.lookup(
-      packet.dst, [this](PortId p) { return port_detected_up(p); });
+  const auto& next_hops = resolve_next_hops(packet.dst);
   if (next_hops.empty()) {
     ++counters_.dropped_no_route;
     F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
             name() << ": no route for " << packet.dst.str());
     return false;
   }
-  const std::size_t pick =
-      routing::ecmp_select(packet, static_cast<std::uint64_t>(id()),
-                           next_hops.size());
-  const PortId egress = next_hops[pick].port;
+  const PortId egress =
+      routing::ecmp_pick(packet, static_cast<std::uint64_t>(id()),
+                         next_hops.data(), next_hops.size())
+          .port;
   ++counters_.forwarded;
   if (forward_tap_) forward_tap_(packet, ingress, egress);
   send(egress, std::move(packet));

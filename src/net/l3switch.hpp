@@ -5,6 +5,7 @@
 
 #include "net/node.hpp"
 #include "routing/fib.hpp"
+#include "routing/route_cache.hpp"
 
 namespace f2t::net {
 
@@ -52,6 +53,20 @@ class L3Switch : public Node {
   bool port_detected_up(PortId p) const;
   void set_port_detected(PortId p, bool up);
 
+  /// Resolved usable next hops for `dst` under the current FIB contents
+  /// and detected port state, served from the per-switch route cache
+  /// (invalidated by FIB generation + port epoch; see ResolvedRouteCache).
+  /// The returned reference is valid until the next resolution.
+  const routing::Fib::HopVec& resolve_next_hops(Ipv4Addr dst) const;
+
+  /// Monotone count of detected port-state *transitions*; part of the
+  /// route cache's invalidation stamp.
+  std::uint64_t port_epoch() const { return port_epoch_; }
+
+  const routing::ResolvedRouteCache& route_cache() const {
+    return route_cache_;
+  }
+
   void set_control_handler(ControlHandler handler) {
     control_handler_ = std::move(handler);
   }
@@ -68,6 +83,8 @@ class L3Switch : public Node {
   Ipv4Addr router_id_;
   routing::Fib fib_;
   mutable std::vector<bool> detected_up_;  // grown lazily as ports attach
+  mutable routing::ResolvedRouteCache route_cache_;
+  std::uint64_t port_epoch_ = 0;
   ControlHandler control_handler_;
   std::vector<PortStateHandler> port_state_handlers_;
   ForwardTap forward_tap_;

@@ -29,4 +29,9 @@ std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
   return static_cast<std::size_t>(ecmp_hash(packet, salt) % n);
 }
 
+const NextHop& ecmp_pick(const net::Packet& packet, std::uint64_t salt,
+                         const NextHop* hops, std::size_t n) {
+  return hops[ecmp_select(packet, salt, n)];
+}
+
 }  // namespace f2t::routing

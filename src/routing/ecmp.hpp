@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "net/packet.hpp"
+#include "routing/route.hpp"
 
 namespace f2t::routing {
 
@@ -17,5 +18,11 @@ std::uint64_t ecmp_hash(const net::Packet& packet, std::uint64_t salt);
 /// Picks the ECMP member index for a packet among `n` usable next hops.
 std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
                         std::size_t n);
+
+/// Picks the ECMP member for a packet from a resolved next-hop span (the
+/// forwarding fast path: no index bookkeeping at the call site). `n` must
+/// be nonzero; selection is identical to `ecmp_select`.
+const NextHop& ecmp_pick(const net::Packet& packet, std::uint64_t salt,
+                         const NextHop* hops, std::size_t n);
 
 }  // namespace f2t::routing

@@ -1,26 +1,26 @@
 #include "routing/fib.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace f2t::routing {
-
-const Route* Fib::Slot::best() const {
-  const Route* best = nullptr;
-  for (const Route& r : by_source) {
-    if (best == nullptr ||
-        static_cast<int>(r.source) < static_cast<int>(best->source)) {
-      best = &r;
-    }
-  }
-  return best;
-}
 
 Route* Fib::Slot::find(RouteSource source) {
   for (Route& r : by_source) {
     if (r.source == source) return &r;
   }
   return nullptr;
+}
+
+void Fib::Slot::recompute_best() {
+  best_idx = 0;
+  for (std::size_t i = 1; i < by_source.size(); ++i) {
+    if (static_cast<int>(by_source[i].source) <
+        static_cast<int>(by_source[best_idx].source)) {
+      best_idx = i;
+    }
+  }
 }
 
 void Fib::install(Route route) {
@@ -30,44 +30,57 @@ void Fib::install(Route route) {
   }
   // Deterministic next-hop order so ECMP hashing is stable across runs.
   std::sort(route.next_hops.begin(), route.next_hops.end());
-  Slot& slot = by_length_[static_cast<std::size_t>(route.prefix.length())]
-                         [route.prefix.address().value()];
+  const auto length = static_cast<std::size_t>(route.prefix.length());
+  Slot& slot = by_length_[length][route.prefix.address().value()];
   if (Route* existing = slot.find(route.source)) {
     *existing = std::move(route);
   } else {
     slot.by_source.push_back(std::move(route));
+    slot.recompute_best();
     ++count_;
   }
+  nonempty_lengths_ |= std::uint64_t{1} << length;
+  ++generation_;
 }
 
 void Fib::remove(const net::Prefix& prefix, RouteSource source) {
-  auto& bucket = by_length_[static_cast<std::size_t>(prefix.length())];
+  const auto length = static_cast<std::size_t>(prefix.length());
+  auto& bucket = by_length_[length];
   auto it = bucket.find(prefix.address().value());
   if (it == bucket.end()) return;
   auto& routes = it->second.by_source;
   for (std::size_t i = 0; i < routes.size(); ++i) {
     if (routes[i].source == source) {
       routes.erase(routes.begin() + static_cast<std::ptrdiff_t>(i));
+      it->second.recompute_best();
       --count_;
+      ++generation_;
       break;
     }
   }
-  if (routes.empty()) bucket.erase(it);
+  if (routes.empty()) {
+    bucket.erase(it);
+    if (bucket.empty()) nonempty_lengths_ &= ~(std::uint64_t{1} << length);
+  }
 }
 
 void Fib::clear_source(RouteSource source) {
-  for (auto& bucket : by_length_) {
+  for (std::size_t length = 0; length < by_length_.size(); ++length) {
+    auto& bucket = by_length_[length];
     for (auto it = bucket.begin(); it != bucket.end();) {
       auto& routes = it->second.by_source;
       for (std::size_t i = 0; i < routes.size(); ++i) {
         if (routes[i].source == source) {
           routes.erase(routes.begin() + static_cast<std::ptrdiff_t>(i));
+          it->second.recompute_best();
           --count_;
+          ++generation_;
           break;
         }
       }
       it = routes.empty() ? bucket.erase(it) : std::next(it);
     }
+    if (bucket.empty()) nonempty_lengths_ &= ~(std::uint64_t{1} << length);
   }
 }
 
@@ -79,28 +92,45 @@ void Fib::replace_source(RouteSource source, std::vector<Route> routes) {
   }
 }
 
-std::vector<NextHop> Fib::lookup(net::Ipv4Addr dst,
-                                 const PortUpFn& port_up) const {
-  for (int length = 32; length >= 0; --length) {
+template <typename PortPred, typename OutVec>
+void Fib::lookup_walk(net::Ipv4Addr dst, const PortPred& up,
+                      OutVec& out) const {
+  std::uint64_t lengths = nonempty_lengths_;
+  while (lengths != 0) {
+    // Highest set bit = longest populated prefix length still unvisited.
+    const int length = 63 - std::countl_zero(lengths);
+    lengths &= ~(std::uint64_t{1} << length);
     const auto& bucket = by_length_[static_cast<std::size_t>(length)];
-    if (bucket.empty()) continue;
     const std::uint32_t mask =
         length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
     const auto it = bucket.find(dst.value() & mask);
     if (it == bucket.end()) continue;
     const Route* route = it->second.best();
     if (route == nullptr) continue;
-    std::vector<NextHop> usable;
-    usable.reserve(route->next_hops.size());
     for (const NextHop& nh : route->next_hops) {
-      if (!port_up || port_up(nh.port)) usable.push_back(nh);
+      if (up(nh.port)) out.push_back(nh);
     }
-    if (!usable.empty()) return usable;
+    if (!out.empty()) return;
     // All next hops locally dead: fall through to the next-shorter prefix.
     // This single line is what makes the paper's pre-installed backup
     // statics take over instantly after failure detection.
   }
-  return {};
+}
+
+std::vector<NextHop> Fib::lookup(net::Ipv4Addr dst,
+                                 const PortUpFn& port_up) const {
+  std::vector<NextHop> out;
+  if (port_up) {
+    lookup_walk(dst, port_up, out);
+  } else {
+    lookup_walk(dst, [](net::PortId) { return true; }, out);
+  }
+  return out;
+}
+
+void Fib::lookup_into(net::Ipv4Addr dst, PortStateView ports,
+                      HopVec& out) const {
+  lookup_walk(dst, ports, out);
 }
 
 std::optional<Route> Fib::find(const net::Prefix& prefix,

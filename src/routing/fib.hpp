@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "routing/route.hpp"
+#include "routing/smallvec.hpp"
 
 namespace f2t::routing {
 
@@ -25,12 +26,31 @@ namespace f2t::routing {
 ///
 /// One entry is stored per (prefix, source); forwarding uses the best
 /// source (lowest administrative distance) per prefix, like a real RIB→FIB
-/// selection.
+/// selection. The best source per slot is cached at install time, a bitmask
+/// tracks which prefix lengths are populated, and `lookup_into` resolves a
+/// destination without touching the heap — the data-plane fast path.
 class Fib {
  public:
   /// Predicate telling whether a local egress port is usable (i.e. the
-  /// data plane has not detected it down).
+  /// data plane has not detected it down). Retained for tests and generic
+  /// callers; the forwarding fast path uses `PortStateView` instead.
   using PortUpFn = std::function<bool(net::PortId)>;
+
+  /// ECMP groups wider than this spill to the heap; production fabrics in
+  /// the paper use 2-wide groups, fat trees up to k/2.
+  static constexpr std::size_t kInlineHops = 4;
+  using HopVec = SmallVec<NextHop, kInlineHops>;
+
+  /// Zero-cost view over a switch's detected-port-state vector. Ports
+  /// beyond the vector's size are considered up, matching the lazily-grown
+  /// default in `net::L3Switch`. A null vector means "all ports up".
+  struct PortStateView {
+    const std::vector<bool>* up = nullptr;
+
+    bool operator()(net::PortId p) const {
+      return up == nullptr || p >= up->size() || (*up)[p];
+    }
+  };
 
   /// Installs or replaces the route for (route.prefix, route.source).
   void install(Route route);
@@ -48,8 +68,20 @@ class Fib {
   /// Longest-prefix match over *usable* entries: returns the usable next
   /// hops of the longest prefix containing `dst` whose best-source entry
   /// has at least one next hop with port_up(port). Falls through to
-  /// shorter prefixes otherwise.
+  /// shorter prefixes otherwise. Allocates its result; prefer
+  /// `lookup_into` on hot paths.
   std::vector<NextHop> lookup(net::Ipv4Addr dst, const PortUpFn& port_up) const;
+
+  /// Allocation-free LPM walk: appends the usable next hops of the
+  /// longest matching live prefix to `out` (which the caller clears).
+  /// Observably identical to `lookup` given the same port state.
+  void lookup_into(net::Ipv4Addr dst, PortStateView ports, HopVec& out) const;
+
+  /// Monotone counter bumped by every mutating call (`install`,
+  /// `remove`, `clear_source`, `replace_source`). Callers memoizing
+  /// resolved lookups (see `ResolvedRouteCache`) compare generations
+  /// instead of registering invalidation hooks.
+  std::uint64_t generation() const { return generation_; }
 
   /// Exact-match query of the installed route (ignoring liveness).
   std::optional<Route> find(const net::Prefix& prefix, RouteSource source) const;
@@ -64,14 +96,26 @@ class Fib {
   struct Slot {
     // Routes for one prefix keyed by source; kept tiny (≤3 sources).
     std::vector<Route> by_source;
+    // Index of the lowest-administrative-distance route, maintained on
+    // every slot mutation so lookups never rescan.
+    std::size_t best_idx = 0;
 
-    const Route* best() const;
+    const Route* best() const {
+      return by_source.empty() ? nullptr : &by_source[best_idx];
+    }
     Route* find(RouteSource source);
+    void recompute_best();
   };
 
-  // One hash map per prefix length; lookup probes lengths 32..0.
+  template <typename PortPred, typename OutVec>
+  void lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out) const;
+
+  // One hash map per prefix length; lookup probes lengths 32..0, skipping
+  // empty lengths via the bitmask (bit l set iff by_length_[l] nonempty).
   std::array<std::unordered_map<std::uint32_t, Slot>, 33> by_length_;
+  std::uint64_t nonempty_lengths_ = 0;
   std::size_t count_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace f2t::routing

@@ -1,0 +1,31 @@
+#include "routing/route_cache.hpp"
+
+namespace f2t::routing {
+
+const Fib::HopVec& ResolvedRouteCache::resolve(const Fib& fib,
+                                               net::Ipv4Addr dst,
+                                               Fib::PortStateView ports,
+                                               std::uint64_t port_epoch) {
+  // Both counters are monotone, so the sum strictly increases whenever
+  // either does — a single 64-bit stamp covers both invalidation sources.
+  const std::uint64_t generation = fib.generation() + port_epoch;
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  Entry& entry = entries_[dst.value()];
+  if (entry.generation == generation) {
+    ++hits_;
+    return entry.hops;
+  }
+  ++misses_;
+  entry.hops.clear();
+  fib.lookup_into(dst, ports, entry.hops);
+  entry.generation = generation;
+  return entry.hops;
+}
+
+void ResolvedRouteCache::clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace f2t::routing

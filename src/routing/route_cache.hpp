@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "routing/fib.hpp"
+
+namespace f2t::routing {
+
+/// Memoizes fully resolved LPM lookups, keyed by destination address.
+///
+/// Every per-hop forwarding decision funnels through `Fib::lookup`; in the
+/// steady state the answer for a given destination only changes when the
+/// FIB is written or a local port's detected state flips. The cache stores
+/// the resolved next-hop set stamped with the *combined generation* it was
+/// computed under — `Fib::generation()` plus the owner's port-state epoch —
+/// and treats any stamp mismatch as a miss. That makes invalidation exact
+/// without hooks: a FIB write bumps the FIB generation, a
+/// `set_port_detected` transition bumps the port epoch, and either bump
+/// invalidates every cached resolution at once.
+///
+/// Correctness note (F²Tree §II-B): the backup fall-through — /24 dead,
+/// forward via the /16 static — happens with *zero FIB writes*; only the
+/// detected port state changes. Folding the port epoch into the stamp is
+/// therefore load-bearing: a cache keyed on the FIB generation alone would
+/// keep steering packets into the dead /24 until the control plane
+/// eventually rewrote the FIB, erasing exactly the effect the paper
+/// measures.
+class ResolvedRouteCache {
+ public:
+  /// Resolved usable next hops for `dst` under the current combined
+  /// generation. Consults the cache first; on miss re-walks the FIB via
+  /// `lookup_into` and stores the result (empty results are cached too).
+  /// The returned reference is valid until the next `resolve` or `clear`.
+  const Fib::HopVec& resolve(const Fib& fib, net::Ipv4Addr dst,
+                             Fib::PortStateView ports,
+                             std::uint64_t port_epoch);
+
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Safety valve: one entry per destination actually forwarded to, so
+  // growth is bounded by the host count in any real experiment; the cap
+  // only guards against adversarial destination scans.
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+
+  struct Entry {
+    std::uint64_t generation = ~std::uint64_t{0};  // never a real stamp
+    Fib::HopVec hops;
+  };
+
+  std::unordered_map<std::uint32_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace f2t::routing

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+namespace f2t::routing {
+
+/// Small-buffer vector for the forwarding fast path.
+///
+/// The first `N` elements live inline in the object; growing past N
+/// spills to a heap buffer. Per-hop FIB resolution keeps its result in a
+/// `SmallVec<NextHop, 4>`, so the common case (ECMP groups of 1–4
+/// members) performs zero heap allocations — the property the paper's
+/// scale sweeps lean on when millions of forwarding decisions are made
+/// per simulated second.
+///
+/// Restricted to trivially-copyable, default-constructible element types
+/// (next hops, adjacency indices): elements are moved with plain copies
+/// and never individually destroyed.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "SmallVec needs a nonzero inline capacity");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialised for POD-like elements");
+  static_assert(std::is_default_constructible_v<T>,
+                "SmallVec requires default-constructible elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { append(other.data_, other.size_); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      size_ = 0;  // keep whatever capacity we already have
+      append(other.data_, other.size_);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  /// Drops all elements but keeps the current capacity (inline or heap),
+  /// so a reused scratch vector never re-allocates.
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  bool on_heap() const { return data_ != inline_buf_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = capacity_ * 2;
+    while (cap < need) cap *= 2;
+    T* heap = new T[cap];
+    std::copy(data_, data_ + size_, heap);
+    if (on_heap()) delete[] data_;
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void append(const T* src, std::size_t n) {
+    if (size_ + n > capacity_) grow(size_ + n);
+    std::copy(src, src + n, data_ + size_);
+    size_ += n;
+  }
+
+  void release() {
+    if (on_heap()) delete[] data_;
+    data_ = inline_buf_;
+    size_ = 0;
+    capacity_ = N;
+  }
+
+  void steal(SmallVec& other) {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_buf_;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      data_ = inline_buf_;
+      capacity_ = N;
+      size_ = 0;
+      append(other.data_, other.size_);
+      other.size_ = 0;
+    }
+  }
+
+  T inline_buf_[N] = {};
+  T* data_ = inline_buf_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace f2t::routing

@@ -3,18 +3,39 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
-#include <set>
 #include <unordered_set>
+
+#include "routing/smallvec.hpp"
 
 namespace f2t::routing {
 
 namespace {
 
+// First hops are tracked as indices into the sorted list of the computing
+// router's neighbours, kept sorted and unique in a small inline vector:
+// ECMP fan-outs are at most the port count, and typical fat-tree groups
+// (≤ k/2) fit inline, so relaxations during Dijkstra never hit the heap —
+// unlike the former std::set<Ipv4Addr>, which allocated a red-black node
+// per (destination, first-hop) pair.
+using FirstHopSet = SmallVec<std::uint16_t, 8>;
+
+void insert_first_hop(FirstHopSet& set, std::uint16_t index) {
+  const auto it = std::lower_bound(set.begin(), set.end(), index);
+  if (it != set.end() && *it == index) return;
+  const auto pos = static_cast<std::size_t>(it - set.begin());
+  set.push_back(index);
+  std::rotate(set.begin() + pos, set.end() - 1, set.end());
+}
+
+void union_first_hops(FirstHopSet& into, const FirstHopSet& from) {
+  for (const std::uint16_t index : from) insert_first_hop(into, index);
+}
+
 struct NodeState {
   int dist = std::numeric_limits<int>::max();
-  // First-hop neighbor router ids (relative to the computing router)
+  // First-hop neighbors (as indices into the sorted self-neighbour list)
   // across all equal-cost shortest paths.
-  std::set<net::Ipv4Addr> first_hops;
+  FirstHopSet first_hops;
 };
 
 bool two_way(const Lsdb& lsdb, net::Ipv4Addr u, net::Ipv4Addr v) {
@@ -32,6 +53,21 @@ std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
   std::unordered_map<net::Ipv4Addr, std::vector<net::PortId>> ports_of;
   for (const LocalAdjacency& adj : adjacency) {
     ports_of[adj.neighbor].push_back(adj.port);
+  }
+
+  // Dense, address-sorted list of the computing router's neighbours, so
+  // first-hop sets can be compact index vectors and emission order matches
+  // the former std::set<Ipv4Addr> iteration exactly.
+  std::vector<net::Ipv4Addr> self_neighbors;
+  self_neighbors.reserve(ports_of.size());
+  for (const auto& [neighbor, ports] : ports_of) {
+    self_neighbors.push_back(neighbor);
+  }
+  std::sort(self_neighbors.begin(), self_neighbors.end());
+  std::unordered_map<net::Ipv4Addr, std::uint16_t> neighbor_index;
+  neighbor_index.reserve(self_neighbors.size());
+  for (std::size_t i = 0; i < self_neighbors.size(); ++i) {
+    neighbor_index[self_neighbors[i]] = static_cast<std::uint16_t>(i);
   }
 
   std::unordered_map<net::Ipv4Addr, NodeState> state;
@@ -70,10 +106,9 @@ std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
       }
       if (ndist == sv.dist) {
         if (u == self) {
-          sv.first_hops.insert(v);
+          insert_first_hop(sv.first_hops, neighbor_index.at(v));
         } else {
-          const NodeState& su = state[u];
-          sv.first_hops.insert(su.first_hops.begin(), su.first_hops.end());
+          union_first_hops(sv.first_hops, state[u].first_hops);
         }
         queue.push({ndist, v});
       }
@@ -86,7 +121,8 @@ std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
     const Lsa* lsa = lsdb.find(router);
     if (lsa == nullptr || lsa->prefixes.empty()) continue;
     std::vector<NextHop> next_hops;
-    for (const net::Ipv4Addr& hop : node_state.first_hops) {
+    for (const std::uint16_t hop_index : node_state.first_hops) {
+      const net::Ipv4Addr hop = self_neighbors[hop_index];
       const auto it = ports_of.find(hop);
       if (it == ports_of.end()) continue;
       for (const net::PortId port : it->second) {

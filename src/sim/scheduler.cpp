@@ -14,17 +14,20 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
   }
   const EventId id = next_id_++;
   queue_.push(Event{at, id, std::move(action)});
+  in_heap_.insert(id);
   ++live_count_;
   return id;
 }
 
 void Scheduler::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  // Only remember ids that could still be in the heap.
-  if (id >= next_id_) return;
-  if (cancelled_.insert(id).second && live_count_ > 0) {
-    --live_count_;
-  }
+  // Only ids actually sitting in the heap can be cancelled. An id that
+  // has already fired (or was cancelled and reaped) must be a true no-op:
+  // remembering it would both leak a tombstone in `cancelled_` and
+  // decrement `live_count_` for an event that no longer counts, making
+  // has_pending() lie about other, still-live events.
+  if (!in_heap_.contains(id)) return;
+  if (cancelled_.insert(id).second) --live_count_;
 }
 
 void Scheduler::drop_cancelled_head() {
@@ -32,6 +35,7 @@ void Scheduler::drop_cancelled_head() {
     auto it = cancelled_.find(queue_.top().id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
+    in_heap_.erase(queue_.top().id);
     queue_.pop();
   }
 }
@@ -47,6 +51,7 @@ bool Scheduler::step(Time until) {
   // Move the action out before popping; the action may schedule/cancel.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
+  in_heap_.erase(ev.id);
   --live_count_;
   now_ = ev.at;
   ++executed_;

@@ -32,7 +32,9 @@ class Scheduler {
   }
 
   /// Cancels a pending event. Cancelling an already-fired or invalid id
-  /// is a harmless no-op (the common pattern for one-shot timers).
+  /// is a *true* no-op (the common pattern for one-shot timers): ids are
+  /// tracked while in the heap, so a late cancel neither perturbs the
+  /// live-event accounting nor leaves tombstones behind.
   void cancel(EventId id);
 
   /// Runs events until the queue drains or the optional horizon is hit.
@@ -50,11 +52,21 @@ class Scheduler {
 
   std::size_t executed_count() const { return executed_; }
 
+  /// Number of cancelled ids still awaiting lazy removal from the heap;
+  /// bounded by the heap size (tests assert no tombstone growth).
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
+
+  /// True if `id` is scheduled and not cancelled.
+  bool is_pending(EventId id) const {
+    return in_heap_.contains(id) && !cancelled_.contains(id);
+  }
+
  private:
   void drop_cancelled_head();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> in_heap_;
   Time now_ = 0;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

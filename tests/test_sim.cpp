@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -61,6 +63,61 @@ TEST(Scheduler, CancelIsIdempotentAndSafe) {
   s.cancel(kInvalidEventId);
   s.cancel(9999);  // never-issued id
   EXPECT_EQ(s.run(), 0u);
+}
+
+// Regression: cancelling an id that has already fired must be a true
+// no-op. The old implementation inserted it into the cancelled set
+// forever (unbounded tombstone growth) and decremented the live count,
+// so a later-scheduled, still-live event made has_pending() lie.
+TEST(Scheduler, CancelOfFiredIdIsTrueNoop) {
+  Scheduler s;
+  int fired = 0;
+  const EventId first = s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  ASSERT_TRUE(s.step());  // fires `first`
+  EXPECT_FALSE(s.is_pending(first));
+
+  s.cancel(first);  // late cancel: the classic one-shot timer pattern
+  EXPECT_TRUE(s.has_pending()) << "live second event lost to a late cancel";
+  EXPECT_EQ(s.cancelled_backlog(), 0u) << "late cancel left a tombstone";
+
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.has_pending());
+}
+
+TEST(Scheduler, RepeatedLateCancelsLeaveNoTombstones) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.schedule_at(i, [] {}));
+  }
+  s.run();
+  for (int round = 0; round < 3; ++round) {
+    for (const EventId id : ids) s.cancel(id);
+  }
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+  EXPECT_FALSE(s.has_pending());
+  // Accounting still intact: a fresh event is seen and runs.
+  bool late_fired = false;
+  s.schedule_at(1000, [&] { late_fired = true; });
+  EXPECT_TRUE(s.has_pending());
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Scheduler, CancelledThenReapedIdStaysCancelled) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(5, [&] { fired = true; });
+  s.cancel(id);
+  EXPECT_FALSE(s.is_pending(id));
+  s.run();  // reaps the cancelled event from the heap
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+  s.cancel(id);  // cancel after reap: also a true no-op
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+  EXPECT_FALSE(s.has_pending());
 }
 
 TEST(Scheduler, RunUntilHorizonStopsAndAdvancesClock) {
