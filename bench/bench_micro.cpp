@@ -223,6 +223,63 @@ void BM_FibLookupFallthroughResolved(benchmark::State& state) {
 }
 BENCHMARK(BM_FibLookupFallthroughResolved);
 
+/// Two-switch fixture for the L3Switch::forward fast path: a static route
+/// steers everything out of the inter-switch port, whose egress direction
+/// is physically down — transmit() then drops the packet inline without
+/// scheduling events, so the loop isolates exactly
+/// ttl-decrement + cached resolve + ECMP + tap dispatch + transmit.
+struct ForwardBench {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::L3Switch* sw = nullptr;
+
+  ForwardBench() {
+    sw = &net.add_switch("a", net::Ipv4Addr(10, 0, 0, 1));
+    auto& peer = net.add_switch("b", net::Ipv4Addr(10, 0, 0, 2));
+    auto& link = net.connect(*sw, peer);
+    sw->fib().install(routing::Route{net::Prefix::parse("10.11.0.0/16"),
+                                     {routing::NextHop{0, peer.router_id()}},
+                                     routing::RouteSource::kStatic});
+    link.set_direction_up(link.direction_from(*sw), false);
+  }
+
+  net::Packet packet() const {
+    net::Packet p;
+    p.src = net::Ipv4Addr(10, 0, 0, 9);
+    p.dst = net::Ipv4Addr(10, 11, 3, 7);
+    p.size_bytes = 1000;
+    return p;
+  }
+};
+
+// Observability disabled: no taps, no drop handler. The zero-overhead
+// claim of the obs layer is this number staying flat across PRs.
+void BM_SwitchForward(benchmark::State& state) {
+  ForwardBench bench;
+  const net::Packet proto = bench.packet();
+  for (auto _ : state) {
+    net::Packet p = proto;  // fresh ttl each iteration
+    benchmark::DoNotOptimize(bench.sw->forward(std::move(p)));
+  }
+}
+BENCHMARK(BM_SwitchForward);
+
+// Same path with one forwarding tap attached (what PacketTracer or the
+// event journal costs per packet, excluding their own recording work).
+void BM_SwitchForwardTapped(benchmark::State& state) {
+  ForwardBench bench;
+  std::uint64_t seen = 0;
+  bench.sw->add_forward_tap(
+      [&seen](const net::Packet&, net::PortId, net::PortId) { ++seen; });
+  const net::Packet proto = bench.packet();
+  for (auto _ : state) {
+    net::Packet p = proto;
+    benchmark::DoNotOptimize(bench.sw->forward(std::move(p)));
+  }
+  benchmark::DoNotOptimize(seen);
+}
+BENCHMARK(BM_SwitchForwardTapped);
+
 void BM_EcmpHash(benchmark::State& state) {
   net::Packet p;
   p.src = net::Ipv4Addr(10, 11, 0, 10);

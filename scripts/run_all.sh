@@ -16,6 +16,63 @@ echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
 [ "${PIPESTATUS[0]}" -eq 0 ] || fail=1
 
+echo "== observability smoke =="
+# One observed recovery run must produce a schema-valid metrics JSON and
+# event JSONL, plus the reconstructed timeline on stdout.
+if "$BUILD"/tools/f2tsim recover --topo f2 --ports 8 --condition C1 \
+    --metrics-out "$OUT/metrics.json" --events-out "$OUT/events.jsonl" \
+    --timeline >"$OUT/timeline.txt" 2>&1; then
+  python3 - "$OUT/metrics.json" "$OUT/events.jsonl" <<'EOF'
+import json, sys
+
+ok = True
+metrics_path, events_path = sys.argv[1], sys.argv[2]
+try:
+    with open(metrics_path) as f:
+        doc = json.load(f)
+    for key in ("schema_version", "at_ns", "metrics", "histograms"):
+        if key not in doc:
+            raise ValueError(f"missing key {key!r}")
+    if doc["schema_version"] != 1:
+        raise ValueError(f"unexpected schema_version {doc['schema_version']}")
+    if not doc["metrics"]:
+        raise ValueError("empty metrics list")
+    for m in doc["metrics"]:
+        for key in ("name", "kind", "value"):
+            if key not in m:
+                raise ValueError(f"metric missing key {key!r}")
+    print(f"OK      {metrics_path} ({len(doc['metrics'])} metrics)")
+except (OSError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {metrics_path}: {e}")
+    ok = False
+try:
+    with open(events_path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if not lines:
+        raise ValueError("empty stream")
+    header, events = lines[0], lines[1:]
+    if header.get("schema_version") != 1 or header.get("stream") != "f2t-events":
+        raise ValueError(f"bad header {header}")
+    if header.get("events") != len(events):
+        raise ValueError(f"header says {header.get('events')}, got {len(events)}")
+    if not events:
+        raise ValueError("no events recorded")
+    for e in events:
+        for key in ("at", "type"):
+            if key not in e:
+                raise ValueError(f"event missing key {key!r}")
+    print(f"OK      {events_path} ({len(events)} events)")
+except (OSError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {events_path}: {e}")
+    ok = False
+sys.exit(0 if ok else 1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "observability smoke FAILED (see $OUT/timeline.txt)"
+  fail=1
+fi
+
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue

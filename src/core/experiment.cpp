@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/attach.hpp"
 #include "topo/validate.hpp"
 
 namespace f2t::core {
@@ -10,6 +11,7 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
     : config_(config),
       sim_(std::make_unique<sim::Simulator>(config.seed)),
       network_(std::make_unique<net::Network>(*sim_)) {
+  sim_->logger().set_threshold(config_.log_level);
   network_->set_default_link_params(config_.link);
   topo_ = builder(*network_);
   topo::validate_topology_or_throw(topo_);
@@ -78,6 +80,94 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
   }
 
   injector_ = std::make_unique<failure::FailureInjector>(*network_);
+
+  if (config_.observe) {
+    obs_ = std::make_unique<obs::Observability>();
+    obs::attach_journal(*sim_, *network_, obs_->journal);
+    for (const auto& instance : ospf_) {
+      obs::attach_journal(*sim_, *instance, obs_->journal);
+    }
+    if (controller_ != nullptr) {
+      obs::attach_journal(*sim_, *controller_, obs_->journal);
+    }
+    for (const auto& instance : path_vector_) {
+      obs::attach_journal(*sim_, *instance, obs_->journal);
+    }
+    obs::register_metrics(obs_->metrics, *network_);
+    obs::register_metrics(obs_->metrics, *sim_);
+    obs::register_metrics(obs_->metrics, *detection_);
+    if (!ospf_.empty()) {
+      auto ospf_probe = [this](auto field) {
+        return [this, field]() {
+          std::uint64_t total = 0;
+          for (const auto& i : ospf_) total += field(i->counters());
+          return static_cast<double>(total);
+        };
+      };
+      obs_->metrics.register_probe(
+          "ospf.lsas_originated", ospf_probe([](const routing::Ospf::Counters&
+                                                    c) {
+            return c.lsas_originated;
+          }));
+      obs_->metrics.register_probe(
+          "ospf.lsas_accepted",
+          ospf_probe([](const routing::Ospf::Counters& c) {
+            return c.lsas_accepted;
+          }));
+      obs_->metrics.register_probe(
+          "ospf.spf_runs", ospf_probe([](const routing::Ospf::Counters& c) {
+            return c.spf_runs;
+          }));
+      obs_->metrics.register_probe(
+          "ospf.fib_installs",
+          ospf_probe([](const routing::Ospf::Counters& c) {
+            return c.fib_installs;
+          }));
+    }
+    if (controller_ != nullptr) {
+      obs_->metrics.register_probe("central.reports", [this]() {
+        return static_cast<double>(controller_->counters().reports);
+      });
+      obs_->metrics.register_probe("central.computations", [this]() {
+        return static_cast<double>(controller_->counters().computations);
+      });
+      obs_->metrics.register_probe("central.fib_pushes", [this]() {
+        return static_cast<double>(controller_->counters().fib_pushes);
+      });
+    }
+    if (!path_vector_.empty()) {
+      auto pv_probe = [this](auto field) {
+        return [this, field]() {
+          std::uint64_t total = 0;
+          for (const auto& i : path_vector_) total += field(i->counters());
+          return static_cast<double>(total);
+        };
+      };
+      obs_->metrics.register_probe(
+          "bgp.updates_sent",
+          pv_probe([](const routing::PathVector::Counters& c) {
+            return c.updates_sent;
+          }));
+      obs_->metrics.register_probe(
+          "bgp.updates_received",
+          pv_probe([](const routing::PathVector::Counters& c) {
+            return c.updates_received;
+          }));
+      obs_->metrics.register_probe(
+          "bgp.fib_installs",
+          pv_probe([](const routing::PathVector::Counters& c) {
+            return c.fib_installs;
+          }));
+    }
+  }
+}
+
+obs::Observability& Testbed::obs() {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "Testbed: observability is off (set TestbedConfig.observe)");
+  }
+  return *obs_;
 }
 
 void Testbed::converge() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "failure/injector.hpp"
+#include "obs/observer.hpp"
 #include "routing/central.hpp"
 #include "routing/detection.hpp"
 #include "routing/ospf.hpp"
@@ -39,6 +40,12 @@ struct TestbedConfig {
   net::LinkParams link;
   BackupMode backup = BackupMode::kAuto;
   std::uint64_t seed = 1;
+  /// Attach the metrics registry + event journal (obs/). Off by default:
+  /// an unobserved run has no hooks installed anywhere, so it pays zero
+  /// cost — not even a branch on the forwarding fast path.
+  bool observe = false;
+  /// Logger threshold applied to the simulator at construction.
+  sim::LogLevel log_level = sim::LogLevel::kWarn;
 };
 
 /// A ready-to-run network: topology + control plane + detection + host
@@ -80,6 +87,14 @@ class Testbed {
   /// Aggregate control-plane counters across all switches.
   routing::Ospf::Counters total_ospf_counters() const;
 
+  /// True when the config requested observability and obs() is usable.
+  bool observing() const { return obs_ != nullptr; }
+
+  /// The run's metrics registry + event journal. Throws when the config
+  /// did not set `observe` (there is deliberately no lazy creation: hooks
+  /// can only be attached at construction time).
+  obs::Observability& obs();
+
  private:
   TestbedConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -95,6 +110,7 @@ class Testbed {
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;
   std::unordered_map<const net::Host*, transport::HostStack*> stack_by_host_;
   std::unique_ptr<failure::FailureInjector> injector_;
+  std::unique_ptr<obs::Observability> obs_;
 };
 
 }  // namespace f2t::core

@@ -1,5 +1,6 @@
 #include "core/runner.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "topo/aspen.hpp"
@@ -52,6 +53,28 @@ Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
   throw std::invalid_argument("unknown topology: " + name);
 }
 
+namespace {
+
+/// Runs the simulation to the horizon and, when observation is on, fills
+/// the run's RunObservation: wall-clock timed engine profile, the journal
+/// copied out of the Testbed, and a metrics snapshot at the horizon.
+void run_and_observe(Testbed& bed, sim::Time horizon,
+                     obs::RunObservation& observation) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t executed = bed.sim().run(horizon);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  if (!bed.observing()) return;
+  observation.enabled = true;
+  observation.profile.events_executed = executed;
+  observation.profile.wall_seconds = wall.count();
+  observation.profile.sim_seconds = sim::to_seconds(bed.sim().now());
+  observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
+  observation.events = bed.obs().journal.events();
+}
+
+}  // namespace
+
 UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
                          failure::Condition condition,
                          const RunKnobs& knobs) {
@@ -76,17 +99,27 @@ UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
   for (net::Link* link : plan->fail_links) {
     bed.injector().fail_at(*link, knobs.fail_at);
   }
-  bed.sim().run(knobs.horizon);
+  run_and_observe(bed, knobs.horizon, out.observation);
 
   out.packets_sent = sender.packets_sent();
   out.packets_lost =
       stats::packets_lost(sender.packets_sent(), sink.packets_received());
+  obs::Histogram* delay_hist = nullptr;
+  if (bed.observing()) {
+    delay_hist = &bed.obs().metrics.histogram(
+        "udp.delay_us", {50, 100, 250, 500, 1000, 5000, 25000, 100000});
+  }
   std::vector<sim::Time> arrivals;
   arrivals.reserve(sink.arrivals().size());
   for (const auto& a : sink.arrivals()) {
     arrivals.push_back(a.at);
     out.delay_series.add(a.at, sim::to_micros(a.delay));
     out.throughput.add(a.at, so.payload_bytes + net::kUdpHeaderBytes);
+    if (delay_hist != nullptr) delay_hist->observe(sim::to_micros(a.delay));
+  }
+  if (delay_hist != nullptr) {
+    // Re-snapshot so the histogram (filled after the run) is exported.
+    out.observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
   }
   const auto loss = stats::find_connectivity_loss(arrivals, knobs.fail_at);
   out.ok = true;
@@ -121,7 +154,19 @@ TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
   for (net::Link* link : plan->fail_links) {
     bed.injector().fail_at(*link, knobs.fail_at);
   }
-  bed.sim().run(knobs.horizon);
+  if (bed.observing()) {
+    const auto& stats = conn.a().stats();
+    bed.obs().metrics.register_probe("tcp.rto_fires", [&stats]() {
+      return static_cast<double>(stats.rto_fires);
+    });
+    bed.obs().metrics.register_probe("tcp.segments_retransmitted", [&stats]() {
+      return static_cast<double>(stats.segments_retransmitted);
+    });
+    bed.obs().metrics.register_probe("tcp.fast_retransmits", [&stats]() {
+      return static_cast<double>(stats.fast_retransmits);
+    });
+  }
+  run_and_observe(bed, knobs.horizon, out.observation);
   out.ok = true;
   out.rto_fires = conn.a().stats().rto_fires;
   out.collapse = stats::throughput_collapse_duration(

@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "failure/scenarios.hpp"
+#include "obs/timeline.hpp"
 #include "stats/flow_metrics.hpp"
 #include "stats/timeseries.hpp"
 #include "transport/tcp.hpp"
@@ -38,6 +39,9 @@ struct UdpRun {
   std::string scenario;
   stats::TimeSeries delay_series;  ///< per-packet one-way delay (us)
   stats::ThroughputMeter throughput{sim::millis(20)};
+  /// Populated when knobs.config.observe is set: metrics snapshot at the
+  /// horizon, the full event journal, and the engine profile.
+  obs::RunObservation observation;
 };
 
 UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
@@ -51,6 +55,8 @@ struct TcpRun {
   sim::Time collapse = 0;
   std::uint64_t rto_fires = 0;
   stats::ThroughputMeter throughput{sim::millis(20)};
+  /// Populated when knobs.config.observe is set.
+  obs::RunObservation observation;
 };
 
 TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,

@@ -10,6 +10,7 @@ void Host::receive(PortId /*p*/, Packet packet) {
     return;
   }
   ++delivered_;
+  if (delivery_tap_) delivery_tap_(packet);
   if (handler_) handler_(std::move(packet));
 }
 

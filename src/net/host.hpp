@@ -22,6 +22,11 @@ class Host : public Node {
     handler_ = std::move(handler);
   }
 
+  /// Observer called on every successful delivery, before the transport
+  /// handler runs. Unset by default; the guard is one branch per delivery.
+  using DeliveryTap = std::function<void(const Packet&)>;
+  void set_delivery_tap(DeliveryTap tap) { delivery_tap_ = std::move(tap); }
+
   void receive(PortId p, Packet packet) override;
 
   /// Sends an application packet via the uplink (port 0).
@@ -33,6 +38,7 @@ class Host : public Node {
  private:
   Ipv4Addr addr_;
   PacketHandler handler_;
+  DeliveryTap delivery_tap_;
   std::uint64_t delivered_ = 0;
   std::uint64_t misdelivered_ = 0;
 };

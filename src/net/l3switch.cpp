@@ -53,6 +53,7 @@ void L3Switch::receive(PortId p, Packet packet) {
 bool L3Switch::forward(Packet packet, PortId ingress) {
   if (packet.ttl == 0 || --packet.ttl == 0) {
     ++counters_.dropped_ttl;
+    if (drop_handler_) drop_handler_(packet, DropReason::kTtlExpired);
     F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
             name() << ": TTL expired for " << packet.describe());
     return false;
@@ -60,6 +61,7 @@ bool L3Switch::forward(Packet packet, PortId ingress) {
   const auto& next_hops = resolve_next_hops(packet.dst);
   if (next_hops.empty()) {
     ++counters_.dropped_no_route;
+    if (drop_handler_) drop_handler_(packet, DropReason::kNoRoute);
     F2T_LOG(sim_.logger(), sim::LogLevel::kDebug, sim_.now(),
             name() << ": no route for " << packet.dst.str());
     return false;
@@ -69,7 +71,7 @@ bool L3Switch::forward(Packet packet, PortId ingress) {
                          next_hops.data(), next_hops.size())
           .port;
   ++counters_.forwarded;
-  if (forward_tap_) forward_tap_(packet, ingress, egress);
+  for (const ForwardTap& tap : forward_taps_) tap(packet, ingress, egress);
   send(egress, std::move(packet));
   return true;
 }

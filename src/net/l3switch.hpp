@@ -27,12 +27,18 @@ class L3Switch : public Node {
     std::uint64_t control_in = 0;
   };
 
+  /// Why this switch dropped a packet (the link layer has its own
+  /// reasons; see Link::DropKind).
+  enum class DropReason { kNoRoute, kTtlExpired };
+
   /// Called for control-plane (Protocol::kRouting) packets.
   using ControlHandler = std::function<void(PortId, const Packet&)>;
   /// Observer of detected port up/down transitions.
   using PortStateHandler = std::function<void(PortId, bool)>;
   /// Forwarding tap: (packet, ingress-or-kInvalidPort, egress).
   using ForwardTap = std::function<void(const Packet&, PortId, PortId)>;
+  /// Observer of local forwarding drops (no route / TTL death).
+  using DropHandler = std::function<void(const Packet&, DropReason)>;
 
   L3Switch(sim::Simulator& simulator, NodeId id, std::string name,
            Ipv4Addr router_id);
@@ -67,13 +73,35 @@ class L3Switch : public Node {
     return route_cache_;
   }
 
+  /// Source of the most recent next-hop resolution (kStatic = the F²Tree
+  /// backup took over). Valid until the next forward/resolve.
+  routing::RouteSource last_resolved_source() const {
+    return route_cache_.last_source();
+  }
+
   void set_control_handler(ControlHandler handler) {
     control_handler_ = std::move(handler);
   }
   void add_port_state_handler(PortStateHandler handler) {
     port_state_handlers_.push_back(std::move(handler));
   }
-  void set_forward_tap(ForwardTap tap) { forward_tap_ = std::move(tap); }
+
+  /// Appends a forwarding tap; every tap sees every forwarded packet, so
+  /// a PacketTracer and the observability journal can coexist.
+  void add_forward_tap(ForwardTap tap) {
+    forward_taps_.push_back(std::move(tap));
+  }
+  /// Compatibility shim for the historic single-tap API: *replaces* all
+  /// taps with `tap`. Prefer add_forward_tap.
+  void set_forward_tap(ForwardTap tap) {
+    forward_taps_.clear();
+    forward_taps_.push_back(std::move(tap));
+  }
+  std::size_t forward_tap_count() const { return forward_taps_.size(); }
+
+  void set_drop_handler(DropHandler handler) {
+    drop_handler_ = std::move(handler);
+  }
 
   const Counters& counters() const { return counters_; }
 
@@ -87,7 +115,8 @@ class L3Switch : public Node {
   std::uint64_t port_epoch_ = 0;
   ControlHandler control_handler_;
   std::vector<PortStateHandler> port_state_handlers_;
-  ForwardTap forward_tap_;
+  std::vector<ForwardTap> forward_taps_;
+  DropHandler drop_handler_;
   Counters counters_;
 };
 

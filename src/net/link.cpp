@@ -52,6 +52,11 @@ void Link::set_channel_up(Channel& ch, bool up) {
     // Physical cut: everything queued or serialized in this direction
     // is lost.
     dropped_down_ += ch.queue.size();
+    if (drop_hook_) {
+      for (const Packet& p : ch.queue.contents()) {
+        drop_hook_(p, DropKind::kDown);
+      }
+    }
     ch.queue.clear();
     ch.busy = false;
   }
@@ -80,7 +85,13 @@ void Link::transmit(const Node& from, Packet packet) {
     // The sender has not yet detected the failure; the packet is lost on
     // the wire. This is the window the paper's fast reroute shrinks.
     ++dropped_down_;
+    if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     return;
+  }
+  // Tail-drop check happens before push so the hook still sees the packet
+  // (push takes it by value); the queue itself keeps the drop count.
+  if (drop_hook_ && ch.queue.size() >= ch.queue.capacity()) {
+    drop_hook_(packet, DropKind::kQueueFull);
   }
   if (!ch.queue.push(std::move(packet))) return;  // tail drop
   if (!ch.busy) start_next(ch, peer_of(from));
@@ -104,9 +115,12 @@ void Link::start_next(Channel& ch, const End& to) {
       });
       ch.busy = false;
       start_next(ch, to);
+    } else {
+      // The direction was cut and the channel reset; the packet is lost
+      // mid-serialization.
+      ++dropped_down_;
+      if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     }
-    // If the epoch changed, the direction was cut and the channel reset;
-    // the packet is considered lost mid-serialization.
   });
 }
 
@@ -127,10 +141,12 @@ void Link::deliver(Channel& ch, const End& to, Packet packet,
                    std::uint64_t epoch) {
   if (epoch != ch.epoch || !ch.up) {
     ++dropped_down_;  // cut while propagating
+    if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     return;
   }
   if (ch.loss_rate > 0.0 && ch.loss_rng->chance(ch.loss_rate)) {
     ++dropped_gray_;  // silent gray-failure loss: nobody detects this
+    if (drop_hook_) drop_hook_(packet, DropKind::kGray);
     return;
   }
   ++delivered_;
@@ -140,6 +156,18 @@ void Link::deliver(Channel& ch, const End& to, Packet packet,
 
 std::uint64_t Link::dropped_queue() const {
   return a_to_b_.queue.dropped() + b_to_a_.queue.dropped();
+}
+
+std::uint64_t Link::queue_enqueued() const {
+  return a_to_b_.queue.enqueued() + b_to_a_.queue.enqueued();
+}
+
+std::uint64_t Link::queue_marked() const {
+  return a_to_b_.queue.marked() + b_to_a_.queue.marked();
+}
+
+std::size_t Link::queue_depth() const {
+  return a_to_b_.queue.size() + b_to_a_.queue.size();
 }
 
 }  // namespace f2t::net

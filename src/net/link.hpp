@@ -91,11 +91,28 @@ class Link {
     observers_.push_back(std::move(observer));
   }
 
+  /// Why this link dropped a packet: the direction was down (cut wire,
+  /// black-holed queue, lost mid-flight), the tail queue was full, or a
+  /// configured gray failure ate it.
+  enum class DropKind { kDown, kQueueFull, kGray };
+
+  /// Per-packet drop observer, called at the instant of loss. Unset by
+  /// default: the guard is a single branch on paths that already drop, so
+  /// it costs nothing on the delivery fast path.
+  using DropHook = std::function<void(const Packet&, DropKind)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   const LinkParams& params() const { return params_; }
 
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped_down() const { return dropped_down_; }
   std::uint64_t dropped_queue() const;
+
+  /// Aggregate queue accounting across both directions (for the metrics
+  /// registry's occupancy/ECN probes).
+  std::uint64_t queue_enqueued() const;
+  std::uint64_t queue_marked() const;
+  std::size_t queue_depth() const;
 
  private:
   struct Channel {
@@ -126,6 +143,7 @@ class Link {
   Channel a_to_b_;
   Channel b_to_a_;
   std::vector<Observer> observers_;
+  DropHook drop_hook_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_down_ = 0;
   std::uint64_t dropped_gray_ = 0;

@@ -38,6 +38,10 @@ class DropTailQueue {
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t marked() const { return marked_; }
 
+  /// Queued packets in FIFO order; used by the link layer to account for
+  /// packets black-holed when a direction is cut.
+  const std::deque<Packet>& contents() const { return packets_; }
+
  private:
   std::deque<Packet> packets_;
   std::size_t capacity_;

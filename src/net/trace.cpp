@@ -5,7 +5,7 @@ namespace f2t::net {
 PacketTracer::PacketTracer(Network& network) : network_(network) {
   for (L3Switch* sw : network_.switches()) {
     const NodeId id = sw->id();
-    sw->set_forward_tap(
+    sw->add_forward_tap(
         [this, id](const Packet& packet, PortId ingress, PortId egress) {
           by_uid_[packet.uid].push_back(
               Hop{network_.simulator().now(), id, ingress, egress});

@@ -15,8 +15,8 @@ namespace f2t::net {
 /// verify fast-reroute paths packet by packet.
 ///
 /// Tracing costs a hash-map append per forwarded packet; construct it
-/// only in experiments that need it. Only one tracer (or other tap user)
-/// can be attached to a switch at a time.
+/// only in experiments that need it. The tracer appends its tap, so it
+/// coexists with other tap users (e.g. the observability journal).
 class PacketTracer {
  public:
   struct Hop {

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace f2t::net {
+class Network;
+}
+namespace f2t::routing {
+class Ospf;
+class CentralController;
+class PathVector;
+class DetectionAgent;
+}  // namespace f2t::routing
+namespace f2t::sim {
+class Simulator;
+}
+
+namespace f2t::obs {
+
+/// The glue between the simulation layers and the observability layer.
+///
+/// Lower layers (net/, routing/) expose narrow guarded hooks in their own
+/// vocabulary (Link::DropHook, Ospf::ObsEvent, ...) and know nothing about
+/// journals or registries. These functions translate: they install hook
+/// closures that stamp the current simulation time and append typed Events
+/// to the journal, and register pull-style probes that read the counters
+/// components already keep. Nothing here runs unless explicitly attached,
+/// so an unobserved run pays no cost.
+
+/// Installs journal hooks on every link, switch and host of the network:
+/// physical link up/down, detected port transitions, per-packet drops with
+/// reasons, host deliveries, and data-plane backup-route activation (the
+/// first forward that resolves via a kStatic F²Tree backup after not
+/// doing so).
+void attach_journal(sim::Simulator& sim, net::Network& network,
+                    EventJournal& journal);
+
+/// Installs OSPF milestone hooks (LSA originated/accepted, SPF run,
+/// FIB install) for one instance.
+void attach_journal(sim::Simulator& sim, routing::Ospf& ospf,
+                    EventJournal& journal);
+
+/// Installs the controller push hook (fires when a pushed FIB lands).
+void attach_journal(sim::Simulator& sim, routing::CentralController& controller,
+                    EventJournal& journal);
+
+/// Installs path-vector milestone hooks (update sent/received, FIB
+/// install) for one instance.
+void attach_journal(sim::Simulator& sim, routing::PathVector& path_vector,
+                    EventJournal& journal);
+
+/// Registers network-wide aggregate probes: forwarding counters, link and
+/// queue accounting, route-cache hit rates, host delivery counts. Pull
+/// style — nothing is touched until snapshot time.
+void register_metrics(MetricsRegistry& registry, net::Network& network);
+
+/// Registers the engine probe (sim.events_executed).
+void register_metrics(MetricsRegistry& registry, sim::Simulator& sim);
+
+/// Registers detection-agent probes (windows opened, flaps suppressed,
+/// detections fired).
+void register_metrics(MetricsRegistry& registry,
+                      routing::DetectionAgent& detection);
+
+}  // namespace f2t::obs

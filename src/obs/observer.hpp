@@ -1,0 +1,20 @@
+#pragma once
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace f2t::obs {
+
+/// All observability state for one simulation run: the metrics registry
+/// components register instruments/probes with, and the structured event
+/// journal the attach layer routes hook callbacks into.
+///
+/// A Testbed owns at most one of these, created only when observation is
+/// requested — when absent, no hooks are attached anywhere and the
+/// simulation pays zero cost (see obs/attach.hpp).
+struct Observability {
+  MetricsRegistry metrics;
+  EventJournal journal;
+};
+
+}  // namespace f2t::obs

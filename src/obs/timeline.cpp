@@ -1,0 +1,117 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+#include "stats/flow_metrics.hpp"
+
+namespace f2t::obs {
+
+namespace {
+
+bool is_data(const Event& e) {
+  return e.proto != 0xff &&
+         e.proto != static_cast<std::uint8_t>(net::Protocol::kRouting);
+}
+
+}  // namespace
+
+RecoveryTimeline::RecoveryTimeline(const std::vector<Event>& events,
+                                   sim::Time min_gap) {
+  std::vector<sim::Time> deliveries;
+  for (const Event& e : events) {
+    if (e.type == EventType::kPacketDelivered) {
+      deliveries.push_back(e.at);
+      ++total_deliveries_;
+    } else if (e.type == EventType::kPacketDrop && is_data(e)) {
+      ++total_data_drops_;
+    }
+  }
+  std::sort(deliveries.begin(), deliveries.end());
+
+  // Link-down events sharing a timestamp are one failure episode (the
+  // paper's multi-link conditions C2/C5/C7 cut several links at once).
+  for (const Event& e : events) {
+    if (e.type != EventType::kLinkDown) continue;
+    if (!failures_.empty() && failures_.back().failed_at == e.at) {
+      failures_.back().links.push_back(e.link);
+      continue;
+    }
+    FailureRecovery f;
+    f.failed_at = e.at;
+    f.links.push_back(e.link);
+    failures_.push_back(std::move(f));
+  }
+  std::sort(failures_.begin(), failures_.end(),
+            [](const FailureRecovery& a, const FailureRecovery& b) {
+              return a.failed_at < b.failed_at;
+            });
+
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    FailureRecovery& f = failures_[i];
+    const sim::Time window_end = i + 1 < failures_.size()
+                                     ? failures_[i + 1].failed_at
+                                     : sim::kNever;
+    for (const Event& e : events) {
+      if (e.at < f.failed_at || e.at >= window_end) continue;
+      switch (e.type) {
+        case EventType::kPortDetectedDown:
+          if (f.detected_at < 0) f.detected_at = e.at;
+          break;
+        case EventType::kBackupActivated:
+          if (f.backup_at < 0) f.backup_at = e.at;
+          break;
+        case EventType::kFibInstall:
+        case EventType::kControllerPush:
+          f.converged_at = std::max(f.converged_at, e.at);
+          break;
+        default:
+          break;
+      }
+    }
+    if (const auto loss =
+            stats::find_connectivity_loss(deliveries, f.failed_at, min_gap)) {
+      f.gap_start = loss->gap_start;
+      f.gap_end = loss->gap_end;
+    }
+    const sim::Time drops_until = f.gap_end >= 0 ? f.gap_end : window_end;
+    for (const Event& e : events) {
+      if (e.type == EventType::kPacketDrop && is_data(e) &&
+          e.at >= f.failed_at && e.at <= drops_until) {
+        ++f.packets_lost;
+      }
+    }
+  }
+}
+
+void RecoveryTimeline::print(std::ostream& os) const {
+  if (failures_.empty()) {
+    os << "recovery timeline: no failure episodes in journal\n";
+    return;
+  }
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    const FailureRecovery& f = failures_[i];
+    os << "failure #" << i + 1 << " at " << sim::format_time(f.failed_at)
+       << " (" << f.links.size()
+       << (f.links.size() == 1 ? " link)\n" : " links)\n");
+    os << "  time to detect      : "
+       << (f.detected() ? sim::format_time(f.time_to_detect()) : "never")
+       << "\n";
+    os << "  backup activated    : "
+       << (f.backup_at >= 0 ? sim::format_time(f.backup_at - f.failed_at)
+                            : "never")
+       << "\n";
+    os << "  first rerouted pkt  : "
+       << (f.rerouted() ? sim::format_time(f.time_to_first_reroute())
+                        : "never")
+       << "\n";
+    os << "  time to converge    : "
+       << (f.converged() ? sim::format_time(f.time_to_converge()) : "never")
+       << "\n";
+    os << "  connectivity gap    : "
+       << (f.rerouted() ? sim::format_time(f.gap()) : "none") << "\n";
+    os << "  packets lost in gap : " << f.packets_lost << "\n";
+  }
+}
+
+}  // namespace f2t::obs

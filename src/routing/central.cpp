@@ -95,9 +95,10 @@ void CentralController::recompute_and_push() {
     net::L3Switch* sw = m.sw;
     ++counters_.fib_pushes;
     sim_->after(config_.push_delay + config_.fib_update_delay,
-                [sw, routes = std::move(routes)]() mutable {
+                [this, sw, routes = std::move(routes)]() mutable {
                   sw->fib().replace_source(RouteSource::kOspf,
                                            std::move(routes));
+                  if (push_hook_) push_hook_(*sw);
                 });
   }
 }

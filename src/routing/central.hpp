@@ -51,6 +51,11 @@ class CentralController {
   const Counters& counters() const { return counters_; }
   const CentralConfig& config() const { return config_; }
 
+  /// Observer fired when a pushed FIB actually lands on a switch (after
+  /// push + FIB-update delay). Unset by default; one branch per push.
+  using PushHook = std::function<void(net::L3Switch&)>;
+  void set_push_hook(PushHook hook) { push_hook_ = std::move(hook); }
+
  private:
   struct Managed {
     net::L3Switch* sw = nullptr;
@@ -68,6 +73,7 @@ class CentralController {
   sim::EventId pending_compute_ = sim::kInvalidEventId;
   std::uint64_t view_version_ = 0;
   Counters counters_;
+  PushHook push_hook_;
 };
 
 }  // namespace f2t::routing

@@ -33,11 +33,14 @@ void DetectionAgent::schedule_for_end(const net::Link::End& end, bool up) {
   if (const auto it = pending_.find(key); it != pending_.end()) {
     sim.cancel(it->second);
     pending_.erase(it);
+    ++counters_.flaps_suppressed;
   }
   const sim::Time delay = up ? config_.up_delay : config_.down_delay;
   const net::PortId port = end.port;
+  ++counters_.reports_scheduled;
   pending_[key] = sim.after(delay, [this, sw, port, up, key] {
     pending_.erase(key);
+    ++counters_.detections_fired;
     sw->set_port_detected(port, up);
   });
 }

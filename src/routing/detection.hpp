@@ -27,6 +27,12 @@ struct DetectionConfig {
 /// that comes back before detection completes is never reported down.
 class DetectionAgent {
  public:
+  struct Counters {
+    std::uint64_t reports_scheduled = 0;  ///< detection windows opened
+    std::uint64_t flaps_suppressed = 0;   ///< pending reports cancelled
+    std::uint64_t detections_fired = 0;   ///< detected-state flips applied
+  };
+
   DetectionAgent(net::Network& network, const DetectionConfig& config = {});
 
   /// Registers observers on every link currently in the network. Call
@@ -34,6 +40,7 @@ class DetectionAgent {
   void attach_all();
 
   const DetectionConfig& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
 
  private:
   void on_link_event(net::Link& link, bool up);
@@ -43,6 +50,7 @@ class DetectionAgent {
   DetectionConfig config_;
   // Pending detection event per (node, port).
   std::unordered_map<std::uint64_t, sim::EventId> pending_;
+  Counters counters_;
 };
 
 }  // namespace f2t::routing

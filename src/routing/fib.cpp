@@ -93,8 +93,8 @@ void Fib::replace_source(RouteSource source, std::vector<Route> routes) {
 }
 
 template <typename PortPred, typename OutVec>
-void Fib::lookup_walk(net::Ipv4Addr dst, const PortPred& up,
-                      OutVec& out) const {
+void Fib::lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out,
+                      RouteSource* source_out) const {
   std::uint64_t lengths = nonempty_lengths_;
   while (lengths != 0) {
     // Highest set bit = longest populated prefix length still unvisited.
@@ -110,7 +110,10 @@ void Fib::lookup_walk(net::Ipv4Addr dst, const PortPred& up,
     for (const NextHop& nh : route->next_hops) {
       if (up(nh.port)) out.push_back(nh);
     }
-    if (!out.empty()) return;
+    if (!out.empty()) {
+      if (source_out != nullptr) *source_out = route->source;
+      return;
+    }
     // All next hops locally dead: fall through to the next-shorter prefix.
     // This single line is what makes the paper's pre-installed backup
     // statics take over instantly after failure detection.
@@ -131,6 +134,11 @@ std::vector<NextHop> Fib::lookup(net::Ipv4Addr dst,
 void Fib::lookup_into(net::Ipv4Addr dst, PortStateView ports,
                       HopVec& out) const {
   lookup_walk(dst, ports, out);
+}
+
+void Fib::lookup_into(net::Ipv4Addr dst, PortStateView ports, HopVec& out,
+                      RouteSource& source) const {
+  lookup_walk(dst, ports, out, &source);
 }
 
 std::optional<Route> Fib::find(const net::Prefix& prefix,

@@ -77,6 +77,13 @@ class Fib {
   /// Observably identical to `lookup` given the same port state.
   void lookup_into(net::Ipv4Addr dst, PortStateView ports, HopVec& out) const;
 
+  /// As above, additionally reporting which RouteSource the matched entry
+  /// came from (untouched when no route matched). kStatic means a
+  /// pre-installed F²Tree backup answered — the observability layer's
+  /// "backup activated" signal.
+  void lookup_into(net::Ipv4Addr dst, PortStateView ports, HopVec& out,
+                   RouteSource& source) const;
+
   /// Monotone counter bumped by every mutating call (`install`,
   /// `remove`, `clear_source`, `replace_source`). Callers memoizing
   /// resolved lookups (see `ResolvedRouteCache`) compare generations
@@ -108,7 +115,8 @@ class Fib {
   };
 
   template <typename PortPred, typename OutVec>
-  void lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out) const;
+  void lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out,
+                   RouteSource* source_out = nullptr) const;
 
   // One hash map per prefix length; lookup probes lengths 32..0, skipping
   // empty lengths via the bitmask (bit l set iff by_length_[l] nonempty).

@@ -49,6 +49,7 @@ LsaPtr Ospf::make_self_lsa() {
   }
   lsa->prefixes = redistributed_;
   ++counters_.lsas_originated;
+  if (obs_hook_) obs_hook_(ObsEvent::kLsaOriginated);
   return lsa;
 }
 
@@ -60,6 +61,7 @@ void Ospf::warm_start(const std::vector<LsaPtr>& all_lsas) {
 
 void Ospf::run_spf_now() {
   ++counters_.spf_runs;
+  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
   auto routes = compute_spf(lsdb_, sw_.router_id(), live_adjacency());
   // Do not learn a route to a prefix we redistribute ourselves.
   std::erase_if(routes, [this](const Route& r) {
@@ -68,6 +70,7 @@ void Ospf::run_spf_now() {
   });
   sw_.fib().replace_source(RouteSource::kOspf, std::move(routes));
   ++counters_.fib_installs;
+  if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
 }
 
 std::vector<LocalAdjacency> Ospf::live_adjacency() const {
@@ -120,6 +123,7 @@ void Ospf::handle_control(net::PortId in_port, const net::Packet& packet) {
     return;
   }
   ++counters_.lsas_accepted;
+  if (obs_hook_) obs_hook_(ObsEvent::kLsaAccepted);
   F2T_LOG(sw_.simulator().logger(), sim::LogLevel::kTrace,
           sw_.simulator().now(), sw_.name() << " accepted " << lsa->describe());
   flood(lsa, in_port);
@@ -140,6 +144,7 @@ void Ospf::run_spf_and_schedule_install() {
   auto& sim = sw_.simulator();
   throttle_.ran(sim.now());
   ++counters_.spf_runs;
+  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
   auto routes = compute_spf(lsdb_, sw_.router_id(), live_adjacency());
   std::erase_if(routes, [this](const Route& r) {
     return std::find(redistributed_.begin(), redistributed_.end(), r.prefix) !=
@@ -157,6 +162,7 @@ void Ospf::run_spf_and_schedule_install() {
         pending_install_ = sim::kInvalidEventId;
         sw_.fib().replace_source(RouteSource::kOspf, std::move(routes));
         ++counters_.fib_installs;
+        if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
         F2T_LOG(sw_.simulator().logger(), sim::LogLevel::kDebug,
                 sw_.simulator().now(), sw_.name() << " installed OSPF routes");
       });

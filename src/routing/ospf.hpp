@@ -49,7 +49,17 @@ class Ospf {
     std::uint64_t fib_installs = 0;
   };
 
+  /// Protocol milestones surfaced to the observability layer. Fired at the
+  /// sim time the milestone happens (e.g. kFibInstall only after the
+  /// FIB-update delay elapsed and the routes are live).
+  enum class ObsEvent { kLsaOriginated, kLsaAccepted, kSpfRun, kFibInstall };
+  using ObsHook = std::function<void(ObsEvent)>;
+
   Ospf(net::L3Switch& sw, const OspfConfig& config = {});
+
+  /// Unset by default; guarded with one branch per milestone (never on the
+  /// per-packet path).
+  void set_obs_hook(ObsHook hook) { obs_hook_ = std::move(hook); }
 
   net::L3Switch& device() { return sw_; }
   const Lsdb& lsdb() const { return lsdb_; }
@@ -98,6 +108,7 @@ class Ospf {
   sim::EventId pending_spf_ = sim::kInvalidEventId;
   sim::EventId pending_install_ = sim::kInvalidEventId;
   Counters counters_;
+  ObsHook obs_hook_;
 };
 
 /// Builds all self-LSAs and warm-starts every instance with the union —

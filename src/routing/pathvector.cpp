@@ -106,6 +106,7 @@ void PathVector::schedule_fib_install() {
         pending_install_ = sim::kInvalidEventId;
         sw_.fib().replace_source(RouteSource::kOspf, build_routes());
         ++counters_.fib_installs;
+        if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
       });
 }
 
@@ -162,6 +163,7 @@ void PathVector::flush_exports(net::PortId port) {
   packet.size_bytes = update->wire_size();
   packet.control = update;
   ++counters_.updates_sent;
+  if (obs_hook_) obs_hook_(ObsEvent::kUpdateSent);
   sw_.send(port, std::move(packet));
 }
 
@@ -171,6 +173,7 @@ void PathVector::handle_control(net::PortId in_port,
       std::dynamic_pointer_cast<const PvUpdate>(packet.control);
   if (!update) return;
   ++counters_.updates_received;
+  if (obs_hook_) obs_hook_(ObsEvent::kUpdateReceived);
   bool any_change = false;
   for (const PvRoute& route : update->routes) {
     PrefixState& state = prefixes_[route.prefix];

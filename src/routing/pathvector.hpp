@@ -63,7 +63,14 @@ class PathVector {
     std::uint64_t fib_installs = 0;
   };
 
+  /// Protocol milestones surfaced to the observability layer.
+  enum class ObsEvent { kUpdateSent, kUpdateReceived, kFibInstall };
+  using ObsHook = std::function<void(ObsEvent)>;
+
   PathVector(net::L3Switch& sw, const PathVectorConfig& config = {});
+
+  /// Unset by default; one guarded branch per milestone.
+  void set_obs_hook(ObsHook hook) { obs_hook_ = std::move(hook); }
 
   net::L3Switch& device() { return sw_; }
   const Counters& counters() const { return counters_; }
@@ -121,6 +128,7 @@ class PathVector {
   sim::EventId pending_install_ = sim::kInvalidEventId;
   bool transit_ = true;
   Counters counters_;
+  ObsHook obs_hook_;
 };
 
 }  // namespace f2t::routing

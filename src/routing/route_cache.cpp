@@ -13,12 +13,14 @@ const Fib::HopVec& ResolvedRouteCache::resolve(const Fib& fib,
   Entry& entry = entries_[dst.value()];
   if (entry.generation == generation) {
     ++hits_;
+    last_source_ = entry.source;
     return entry.hops;
   }
   ++misses_;
   entry.hops.clear();
-  fib.lookup_into(dst, ports, entry.hops);
+  fib.lookup_into(dst, ports, entry.hops, entry.source);
   entry.generation = generation;
+  last_source_ = entry.source;
   return entry.hops;
 }
 

@@ -42,6 +42,12 @@ class ResolvedRouteCache {
   std::uint64_t misses() const { return misses_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// RouteSource of the most recent `resolve` (cached alongside the hop
+  /// set, so reading it costs nothing extra on hits). kStatic means the
+  /// last resolution fell through to an F²Tree backup route. Meaningless
+  /// when the last resolve returned an empty hop set.
+  RouteSource last_source() const { return last_source_; }
+
  private:
   // Safety valve: one entry per destination actually forwarded to, so
   // growth is bounded by the host count in any real experiment; the cap
@@ -50,12 +56,14 @@ class ResolvedRouteCache {
 
   struct Entry {
     std::uint64_t generation = ~std::uint64_t{0};  // never a real stamp
+    RouteSource source = RouteSource::kConnected;
     Fib::HopVec hops;
   };
 
   std::unordered_map<std::uint32_t, Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  RouteSource last_source_ = RouteSource::kConnected;
 };
 
 }  // namespace f2t::routing

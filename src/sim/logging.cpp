@@ -38,6 +38,20 @@ void Logger::log(LogLevel level, Time now, const std::string& message) {
   if (enabled(level)) sink_(level, now, message);
 }
 
+std::optional<LogLevel> Logger::parse_level(std::string_view name) {
+  std::string lowered(name);
+  for (char& c : lowered) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 const char* Logger::level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";

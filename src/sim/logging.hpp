@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hpp"
 
@@ -30,6 +32,11 @@ class Logger {
   void log(LogLevel level, Time now, const std::string& message);
 
   static const char* level_name(LogLevel level);
+
+  /// Inverse of level_name for CLI flags: accepts the lowercase names
+  /// "trace", "debug", "info", "warn", "error", "off" (case-insensitive).
+  /// Returns nullopt for anything else.
+  static std::optional<LogLevel> parse_level(std::string_view name);
 
  private:
   LogLevel threshold_ = LogLevel::kWarn;

@@ -4,13 +4,17 @@
 ///   f2tsim recover  --topo f2 --ports 8 --condition C1 --control ospf
 ///                   [--proto udp|tcp] [--detection-ms 60] [--spf-ms 200]
 ///                   [--ring-width 2] [--aspen-f 1] [--csv]
+///                   [--log-level LEVEL] [--metrics-out FILE]
+///                   [--events-out FILE] [--timeline]
 ///   f2tsim workload --topo f2 --ports 8 --seconds 60 --cf 1 [--seed 1]
+///                   [--log-level LEVEL]
 ///   f2tsim topo     --topo f2 --ports 8 [--dot]
 ///   f2tsim table1   --ports 8 [--aspen-f 1]
 ///
 /// Every command maps onto the same library calls the benches and tests
 /// use, so a CLI run is exactly reproducible in code.
 
+#include <fstream>
 #include <iostream>
 
 #include "core/cli.hpp"
@@ -29,10 +33,16 @@ int usage() {
       "           [--control ospf|central|bgp] [--proto udp|tcp]\n"
       "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
       "           [--aspen-f 1] [--seed 1] [--csv]\n"
+      "           [--log-level trace|debug|info|warn|error|off]\n"
+      "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
+      "           [--log-level trace|debug|info|warn|error|off]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
-      "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n";
+      "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
+      "--metrics-out/--events-out/--timeline enable observability: a\n"
+      "schema-versioned metrics JSON, a JSONL event journal, and a\n"
+      "reconstructed per-failure recovery timeline on stdout.\n";
   return 2;
 }
 
@@ -56,6 +66,47 @@ core::ControlPlane parse_control(const std::string& text) {
   throw std::invalid_argument("unknown control plane: " + text);
 }
 
+sim::LogLevel parse_log_level_option(core::Cli& cli) {
+  const std::string text = cli.get("log-level", "warn");
+  const auto level = sim::Logger::parse_level(text);
+  if (!level) throw std::invalid_argument("unknown log level: " + text);
+  return *level;
+}
+
+/// Writes the observability artefacts of one observed run: metrics JSON,
+/// event-journal JSONL, and (on request) the reconstructed recovery
+/// timeline plus the engine profile on stdout.
+int export_observation(const obs::RunObservation& o,
+                       const std::string& metrics_out,
+                       const std::string& events_out, bool timeline) {
+  if (!o.enabled) return 0;
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    o.metrics.write_json(out);
+    out << "\n";
+  }
+  if (!events_out.empty()) {
+    std::ofstream out(events_out);
+    if (!out) {
+      std::cerr << "cannot write " << events_out << "\n";
+      return 1;
+    }
+    obs::write_events_jsonl(out, o.events);
+  }
+  if (timeline) {
+    obs::RecoveryTimeline(o.events).print(std::cout);
+    std::cout << "engine: " << o.profile.events_executed << " events, "
+              << static_cast<std::uint64_t>(o.profile.events_per_wall_second())
+              << " events/s, " << o.profile.wall_per_sim_second()
+              << " wall-s per sim-s\n";
+  }
+  return 0;
+}
+
 int cmd_recover(core::Cli& cli) {
   const auto builder = core::topology_builder(
       cli.get("topo", "f2"), cli.get_int("ports", 8),
@@ -63,6 +114,9 @@ int cmd_recover(core::Cli& cli) {
   const auto condition = parse_condition(cli.get("condition", "C1"));
   const std::string proto = cli.get("proto", "udp");
   const bool csv = cli.get_flag("csv");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const std::string events_out = cli.get("events-out", "");
+  const bool timeline = cli.get_flag("timeline");
 
   core::RunKnobs knobs;
   knobs.config.control_plane = parse_control(cli.get("control", "ospf"));
@@ -72,6 +126,9 @@ int cmd_recover(core::Cli& cli) {
   knobs.config.ospf.throttle.initial_delay =
       sim::millis(cli.get_int("spf-ms", 200));
   knobs.config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  knobs.config.log_level = parse_log_level_option(cli);
+  knobs.config.observe =
+      timeline || !metrics_out.empty() || !events_out.empty();
   if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << "\n";
     return usage();
@@ -90,6 +147,12 @@ int cmd_recover(core::Cli& cli) {
                sim::format_time(r.connectivity_loss)});
     table.row({"packets sent", std::to_string(r.packets_sent)});
     table.row({"packets lost", std::to_string(r.packets_lost)});
+    if (const int rc =
+            export_observation(r.observation, metrics_out, events_out,
+                               timeline);
+        rc != 0) {
+      return rc;
+    }
   } else if (proto == "tcp") {
     const auto r = core::run_tcp_condition(builder, condition, knobs);
     if (!r.ok) {
@@ -98,6 +161,12 @@ int cmd_recover(core::Cli& cli) {
     }
     table.row({"throughput collapse", sim::format_time(r.collapse)});
     table.row({"rto fires", std::to_string(r.rto_fires)});
+    if (const int rc =
+            export_observation(r.observation, metrics_out, events_out,
+                               timeline);
+        rc != 0) {
+      return rc;
+    }
   } else {
     std::cerr << "unknown --proto " << proto << "\n";
     return usage();
@@ -117,6 +186,7 @@ int cmd_workload(core::Cli& cli) {
   const int seconds = cli.get_int("seconds", 60);
   const int cf = cli.get_int("cf", 1);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const sim::LogLevel log_level = parse_log_level_option(cli);
   if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << "\n";
     return usage();
@@ -124,6 +194,7 @@ int cmd_workload(core::Cli& cli) {
 
   core::TestbedConfig config;
   config.seed = seed;
+  config.log_level = log_level;
   core::Testbed bed(builder, config);
   bed.converge();
 
