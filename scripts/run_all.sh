@@ -73,6 +73,60 @@ else
   fail=1
 fi
 
+echo "== campaign smoke =="
+# A small multi-threaded campaign must produce a schema-valid artifact,
+# and its deterministic portion must be byte-identical to a single-job
+# rerun of the same spec (the engine's core contract).
+if "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1,C2 \
+      --link-sites 2 --seeds 2 --jobs 4 --no-profile \
+      --out "$OUT/campaign_j4.json" >"$OUT/campaign.txt" 2>&1 \
+    && "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1,C2 \
+      --link-sites 2 --seeds 2 --jobs 1 --no-profile \
+      --out "$OUT/campaign_j1.json" >>"$OUT/campaign.txt" 2>&1; then
+  if ! cmp -s "$OUT/campaign_j1.json" "$OUT/campaign_j4.json"; then
+    echo "BAD     campaign artifact differs between --jobs 1 and --jobs 4"
+    fail=1
+  fi
+  python3 - "$OUT/campaign_j4.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("schema_version", "kind", "spec", "runs", "aggregates"):
+        if key not in doc:
+            raise ValueError(f"missing key {key!r}")
+    if doc["schema_version"] != 1 or doc["kind"] != "f2t-campaign":
+        raise ValueError("bad schema_version/kind")
+    if not doc["runs"]:
+        raise ValueError("no runs")
+    for r in doc["runs"]:
+        for key in ("i", "topo", "control", "site", "seed", "ok", "on_path",
+                    "loss_ns", "sent", "lost"):
+            if key not in r:
+                raise ValueError(f"run missing key {key!r}")
+    if doc["aggregates"][0]["class"] != "total":
+        raise ValueError("first aggregate must be 'total'")
+    if doc["aggregates"][0]["runs"] != len(doc["runs"]):
+        raise ValueError("total aggregate does not cover every run")
+    for a in doc["aggregates"]:
+        for key in ("class", "runs", "affected", "loss_ms_mean",
+                    "loss_ms_p50", "loss_ms_p99", "gap_loss_hist"):
+            if key not in a:
+                raise ValueError(f"aggregate missing key {key!r}")
+    print(f"OK      {path} ({len(doc['runs'])} runs, "
+          f"{len(doc['aggregates'])} aggregates)")
+except (OSError, ValueError, json.JSONDecodeError, IndexError) as e:
+    print(f"BAD     {path}: {e}")
+    sys.exit(1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "campaign smoke FAILED (see $OUT/campaign.txt)"
+  fail=1
+fi
+
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue

@@ -1,0 +1,334 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace f2t::core {
+
+namespace {
+
+failure::Condition parse_condition_name(const std::string& text) {
+  for (const auto c :
+       {failure::Condition::kC1, failure::Condition::kC2,
+        failure::Condition::kC3, failure::Condition::kC4,
+        failure::Condition::kC5, failure::Condition::kC6,
+        failure::Condition::kC7, failure::Condition::kC8}) {
+    if (text == failure::condition_name(c)) return c;
+  }
+  throw std::invalid_argument("campaign: unknown condition \"" + text + "\"");
+}
+
+void check_known_keys(const json::Value& obj,
+                      std::initializer_list<std::string_view> known,
+                      const char* where) {
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument(std::string("campaign: unknown key \"") +
+                                  key + "\" in " + where);
+    }
+  }
+}
+
+/// Deterministic double rendering for the campaign artifact (shortest
+/// form up to 10 significant digits; -0 normalised).
+std::string fmt(double v) {
+  if (v == 0) return "0";
+  std::ostringstream os;
+  os << std::setprecision(10) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string CampaignSpec::TopologyAxis::label() const {
+  return name + "-" + std::to_string(ports);
+}
+
+CampaignSpec CampaignSpec::parse(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
+  check_known_keys(doc,
+                   {"name", "topologies", "controls", "conditions",
+                    "link_sites", "seeds", "base_seed", "detection_ms",
+                    "spf_ms", "fail_at_ms", "horizon_ms"},
+                   "spec");
+  CampaignSpec spec;
+  spec.name = doc.string_or("name", spec.name);
+
+  const json::Value& topologies = doc.at("topologies");
+  for (const json::Value& t : topologies.as_array()) {
+    check_known_keys(t, {"name", "ports", "ring_width", "aspen_f"},
+                     "topologies[]");
+    TopologyAxis axis;
+    axis.name = t.at("name").as_string();
+    axis.ports = static_cast<int>(t.at("ports").as_int());
+    axis.ring_width = static_cast<int>(t.int_or("ring_width", 2));
+    axis.aspen_f = static_cast<int>(t.int_or("aspen_f", 1));
+    spec.topologies.push_back(std::move(axis));
+  }
+  if (spec.topologies.empty()) {
+    throw std::invalid_argument("campaign: empty \"topologies\"");
+  }
+
+  if (const json::Value* controls = doc.find("controls")) {
+    for (const json::Value& c : controls->as_array()) {
+      const std::string& name = c.as_string();
+      if (name != "ospf" && name != "central" && name != "bgp") {
+        throw std::invalid_argument("campaign: unknown control \"" + name +
+                                    "\"");
+      }
+      spec.controls.push_back(name);
+    }
+  }
+  if (spec.controls.empty()) spec.controls = {"ospf"};
+
+  if (const json::Value* conditions = doc.find("conditions")) {
+    if (conditions->is_string() && conditions->as_string() == "all") {
+      spec.conditions = {failure::Condition::kC1, failure::Condition::kC2,
+                         failure::Condition::kC3, failure::Condition::kC4,
+                         failure::Condition::kC5, failure::Condition::kC6,
+                         failure::Condition::kC7};
+    } else {
+      for (const json::Value& c : conditions->as_array()) {
+        spec.conditions.push_back(parse_condition_name(c.as_string()));
+      }
+    }
+  }
+
+  if (const json::Value* sites = doc.find("link_sites")) {
+    if (sites->is_string() && sites->as_string() == "all") {
+      spec.link_sites = -1;
+    } else {
+      spec.link_sites = static_cast<int>(sites->as_int());
+      if (spec.link_sites < 0) {
+        throw std::invalid_argument("campaign: negative link_sites");
+      }
+    }
+  }
+  if (spec.conditions.empty() && spec.link_sites == 0) {
+    throw std::invalid_argument(
+        "campaign: no failure sites (need conditions and/or link_sites)");
+  }
+
+  spec.seeds = static_cast<int>(doc.int_or("seeds", 1));
+  if (spec.seeds < 1) throw std::invalid_argument("campaign: seeds < 1");
+  spec.base_seed = static_cast<std::uint64_t>(doc.int_or("base_seed", 1));
+  spec.detection_ms = static_cast<int>(doc.int_or("detection_ms", 60));
+  spec.spf_ms = static_cast<int>(doc.int_or("spf_ms", 200));
+  spec.fail_at = sim::millis(doc.int_or("fail_at_ms", 380));
+  spec.horizon = sim::millis(doc.int_or("horizon_ms", 3000));
+  if (spec.horizon <= spec.fail_at) {
+    throw std::invalid_argument("campaign: horizon_ms <= fail_at_ms");
+  }
+  return spec;
+}
+
+void CampaignSpec::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n" << pad << "  \"name\": \"" << json::escape(name) << "\",\n";
+  os << pad << "  \"topologies\": [";
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    const TopologyAxis& t = topologies[i];
+    os << (i ? ", " : "") << "{\"name\": \"" << json::escape(t.name)
+       << "\", \"ports\": " << t.ports << ", \"ring_width\": " << t.ring_width
+       << ", \"aspen_f\": " << t.aspen_f << "}";
+  }
+  os << "],\n" << pad << "  \"controls\": [";
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << controls[i] << "\"";
+  }
+  os << "],\n" << pad << "  \"conditions\": [";
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << failure::condition_name(conditions[i])
+       << "\"";
+  }
+  os << "],\n"
+     << pad << "  \"link_sites\": " << link_sites << ",\n"
+     << pad << "  \"seeds\": " << seeds << ",\n"
+     << pad << "  \"base_seed\": " << base_seed << ",\n"
+     << pad << "  \"detection_ms\": " << detection_ms << ",\n"
+     << pad << "  \"spf_ms\": " << spf_ms << ",\n"
+     << pad << "  \"fail_at_ms\": " << sim::to_millis(fail_at) << ",\n"
+     << pad << "  \"horizon_ms\": " << sim::to_millis(horizon) << "\n"
+     << pad << "}";
+}
+
+std::string ShardSpec::site() const {
+  return is_link_site ? "L" + std::to_string(link_site)
+                      : failure::condition_name(condition);
+}
+
+std::vector<ShardSpec> enumerate_shards(const CampaignSpec& spec) {
+  std::vector<ShardSpec> shards;
+  for (const auto& topology : spec.topologies) {
+    // Resolve the topology's failure-site universe off the simulation
+    // clock; construction order is deterministic for a given axis.
+    int sites = spec.link_sites;
+    if (sites != 0) {
+      sim::Simulator sim(1);
+      net::Network net(sim);
+      const auto built = topology_builder(topology.name, topology.ports,
+                                          topology.ring_width,
+                                          topology.aspen_f)(net);
+      const int all = static_cast<int>(failure::switch_links(built).size());
+      sites = sites < 0 ? all : std::min(sites, all);
+    }
+    for (const auto& control : spec.controls) {
+      const auto add = [&](bool is_link, failure::Condition condition,
+                           int link_site) {
+        for (int replicate = 0; replicate < spec.seeds; ++replicate) {
+          ShardSpec shard;
+          shard.index = static_cast<int>(shards.size());
+          shard.topology = topology;
+          shard.control = control;
+          shard.is_link_site = is_link;
+          shard.condition = condition;
+          shard.link_site = link_site;
+          shard.replicate = replicate;
+          shard.seed = sim::Random::derive_stream_seed(
+              spec.base_seed, static_cast<std::uint64_t>(shard.index));
+          shards.push_back(std::move(shard));
+        }
+      };
+      for (const failure::Condition condition : spec.conditions) {
+        add(false, condition, -1);
+      }
+      for (int site = 0; site < sites; ++site) {
+        add(true, failure::Condition::kC1, site);
+      }
+    }
+  }
+  return shards;
+}
+
+std::vector<ClassAggregate> aggregate_runs(
+    const std::vector<ShardResult>& runs) {
+  // Group deterministically by key; "total" spans every run.
+  std::vector<std::string> keys{"total"};
+  for (const ShardResult& r : runs) {
+    const std::string key = r.topology + "/" + r.control + "/" +
+                            (r.site_class.empty() ? r.site : r.site_class);
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin() + 1, keys.end());
+
+  std::vector<ClassAggregate> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    ClassAggregate agg;
+    agg.key = key;
+    std::vector<double> losses_ms;
+    for (const ShardResult& r : runs) {
+      const std::string rkey = r.topology + "/" + r.control + "/" +
+                               (r.site_class.empty() ? r.site : r.site_class);
+      if (key != "total" && rkey != key) continue;
+      ++agg.runs;
+      if (!r.ok) {
+        ++agg.failed;
+        continue;
+      }
+      if (!r.on_path) continue;
+      ++agg.affected;
+      losses_ms.push_back(sim::to_millis(r.connectivity_loss));
+      agg.packets_lost_total += r.packets_lost;
+      const std::uint64_t lost = r.packets_lost;
+      const int bucket = lost == 0 ? 0
+                         : lost < 10 ? 1
+                         : lost < 100 ? 2
+                         : lost < 1000 ? 3
+                                       : 4;
+      ++agg.gap_loss_hist[bucket];
+    }
+    if (!losses_ms.empty()) {
+      std::sort(losses_ms.begin(), losses_ms.end());
+      double sum = 0;
+      for (const double v : losses_ms) sum += v;
+      const auto rank = [&losses_ms](double q) {
+        const auto n = losses_ms.size();
+        const auto i = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(n))) ;
+        return losses_ms[i == 0 ? 0 : std::min(i - 1, n - 1)];
+      };
+      agg.loss_ms_mean = sum / static_cast<double>(losses_ms.size());
+      agg.loss_ms_p50 = rank(0.50);
+      agg.loss_ms_p99 = rank(0.99);
+      agg.loss_ms_max = losses_ms.back();
+    }
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+void CampaignResult::write_json(std::ostream& os,
+                                bool include_profile) const {
+  os << "{\n  \"schema_version\": " << kSchemaVersion
+     << ",\n  \"kind\": \"f2t-campaign\",\n  \"spec\": ";
+  spec.write_json(os, 2);
+  os << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ShardResult& r = runs[i];
+    os << "    {\"i\": " << r.index << ", \"topo\": \""
+       << json::escape(r.topology) << "\", \"control\": \"" << r.control
+       << "\", \"site\": \"" << json::escape(r.site) << "\", \"class\": \""
+       << json::escape(r.site_class) << "\", \"rep\": " << r.replicate
+       << ", \"seed\": \"" << r.seed << "\", \"ok\": "
+       << (r.ok ? "true" : "false")
+       << ", \"on_path\": " << (r.on_path ? "true" : "false")
+       << ", \"loss_ns\": " << r.connectivity_loss
+       << ", \"sent\": " << r.packets_sent << ", \"lost\": " << r.packets_lost
+       << ", \"events\": " << r.events_executed << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"aggregates\": [\n";
+  const auto aggregates = aggregate_runs(runs);
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    const ClassAggregate& a = aggregates[i];
+    os << "    {\"class\": \"" << json::escape(a.key)
+       << "\", \"runs\": " << a.runs << ", \"affected\": " << a.affected
+       << ", \"failed\": " << a.failed << ", \"loss_ms_mean\": "
+       << fmt(a.loss_ms_mean) << ", \"loss_ms_p50\": " << fmt(a.loss_ms_p50)
+       << ", \"loss_ms_p99\": " << fmt(a.loss_ms_p99)
+       << ", \"loss_ms_max\": " << fmt(a.loss_ms_max)
+       << ", \"packets_lost\": " << a.packets_lost_total
+       << ", \"gap_loss_hist\": [";
+    for (int b = 0; b < 5; ++b) {
+      os << (b ? ", " : "") << a.gap_loss_hist[b];
+    }
+    os << "]}" << (i + 1 < aggregates.size() ? "," : "") << "\n";
+  }
+  os << "  ]";
+  if (include_profile) {
+    double shard_wall = 0;
+    std::size_t events = 0;
+    for (const ShardResult& r : runs) {
+      shard_wall += r.wall_seconds;
+      events += r.events_executed;
+    }
+    os << ",\n  \"profile\": {\"jobs\": " << jobs << ", \"wall_seconds\": "
+       << fmt(wall_seconds) << ", \"shard_wall_seconds\": " << fmt(shard_wall)
+       << ", \"events_executed\": " << events
+       << ", \"runs_per_second\": "
+       << fmt(wall_seconds > 0 ? static_cast<double>(runs.size()) /
+                                     wall_seconds
+                               : 0)
+       << ", \"hardware_threads\": " << hardware_threads
+       << ", \"steals\": " << steals << "}";
+  }
+  os << "\n}\n";
+}
+
+}  // namespace f2t::core

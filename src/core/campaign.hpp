@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.hpp"
+#include "failure/scenarios.hpp"
+#include "sim/time.hpp"
+
+namespace f2t::core {
+
+/// Declarative description of a failure-injection campaign: the cartesian
+/// matrix of topologies x control planes x failure sites x seed
+/// replicates, plus the shared run knobs. Parsed from a user-authored
+/// JSON spec (`f2tsim campaign --spec`), echoed verbatim into every
+/// campaign artifact so a result file names the experiment that produced
+/// it.
+///
+/// Failure sites come from two enumerators:
+///  - `conditions`: the paper's Table IV structural conditions (C1..C8),
+///    constructed against the reference flow exactly as `f2tsim recover`;
+///  - `link_sites`: the first N switch-to-switch links (or all of them),
+///    each failed individually with a probe flow steered across the link
+///    when the ECMP search finds one — the exhaustive sweep the paper's
+///    aggregate claims need.
+struct CampaignSpec {
+  static constexpr int kSchemaVersion = 1;
+
+  struct TopologyAxis {
+    std::string name = "f2";  ///< core::topology_builder name
+    int ports = 8;
+    int ring_width = 2;
+    int aspen_f = 1;
+
+    /// "f2-8", the label used in run records and aggregate keys.
+    std::string label() const;
+  };
+
+  std::string name = "campaign";
+  std::vector<TopologyAxis> topologies;
+  std::vector<std::string> controls;  ///< "ospf" | "central" | "bgp"
+  std::vector<failure::Condition> conditions;
+  int link_sites = 0;  ///< first N switch links as sites; -1 = all
+  int seeds = 1;       ///< replicates per (topology, control, site)
+  std::uint64_t base_seed = 1;
+  int detection_ms = 60;
+  int spf_ms = 200;
+  sim::Time fail_at = sim::millis(380);
+  sim::Time horizon = sim::seconds(3);
+
+  /// Builds a spec from parsed JSON; throws std::invalid_argument on
+  /// missing/mistyped fields and on unknown keys (typos must fail loudly,
+  /// not silently run a default campaign).
+  static CampaignSpec from_json(const json::Value& doc);
+  static CampaignSpec parse(std::string_view text);
+
+  /// Canonical JSON echo (stable field order, independent of the input's
+  /// textual layout) — part of the deterministic campaign artifact.
+  void write_json(std::ostream& os, int indent = 0) const;
+};
+
+/// One independent simulation of the campaign matrix. Shards are
+/// enumerated in a deterministic order, and each carries its own RNG
+/// stream split from the campaign's base seed by shard index — results
+/// are a pure function of (spec, index), whatever thread runs them.
+struct ShardSpec {
+  int index = 0;
+  CampaignSpec::TopologyAxis topology;
+  std::string control;
+  bool is_link_site = false;
+  failure::Condition condition = failure::Condition::kC1;
+  int link_site = -1;
+  int replicate = 0;
+  std::uint64_t seed = 0;  ///< sim::Random::derive_stream_seed(base, index)
+
+  /// Site label: "C1".."C8" or "L<index>".
+  std::string site() const;
+};
+
+/// Expands the spec into its shard list. `link_sites == -1` is resolved
+/// against each topology (built once, off the simulation clock) so the
+/// shard list itself stays deterministic.
+std::vector<ShardSpec> enumerate_shards(const CampaignSpec& spec);
+
+/// Outcome of one shard: identity, the paper's recovery metrics, and the
+/// deterministic work accounting. `wall_seconds` is the only
+/// non-deterministic field and is excluded from the deterministic JSON.
+struct ShardResult {
+  int index = 0;
+  std::string topology;
+  std::string control;
+  std::string site;
+  std::string site_class;
+  int replicate = 0;
+  std::uint64_t seed = 0;
+  bool ok = false;       ///< scenario construction succeeded
+  bool on_path = false;  ///< probe flow crossed a failed link
+  sim::Time connectivity_loss = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::size_t events_executed = 0;
+  double wall_seconds = 0;
+  std::string scenario;
+};
+
+/// Aggregate recovery statistics over one failure class (one
+/// "<topology>/<control>/<site_class>" group, plus the "total" group).
+/// Loss statistics are over affected runs (ok && on_path); the gap-loss
+/// histogram buckets runs by packets lost: 0, 1-9, 10-99, 100-999, 1000+.
+struct ClassAggregate {
+  std::string key;
+  int runs = 0;
+  int affected = 0;  ///< ok && probe on-path
+  int failed = 0;    ///< scenario construction failed
+  double loss_ms_mean = 0;
+  double loss_ms_p50 = 0;
+  double loss_ms_p99 = 0;
+  double loss_ms_max = 0;
+  std::uint64_t packets_lost_total = 0;
+  std::uint64_t gap_loss_hist[5] = {0, 0, 0, 0, 0};
+};
+
+std::vector<ClassAggregate> aggregate_runs(
+    const std::vector<ShardResult>& runs);
+
+/// Everything one campaign produces. The deterministic portion (spec,
+/// per-run records in shard order, aggregates) is byte-identical for a
+/// given spec whatever --jobs is; the profile (wall clock, thread counts)
+/// is appended only in the full artifact.
+struct CampaignResult {
+  static constexpr int kSchemaVersion = 1;
+
+  CampaignSpec spec;
+  std::vector<ShardResult> runs;  ///< in shard-index order
+
+  int jobs = 1;
+  double wall_seconds = 0;
+  unsigned hardware_threads = 0;
+  std::uint64_t steals = 0;  ///< work-stealing pool diagnostics
+
+  /// Writes the campaign JSON artifact. With `include_profile` false the
+  /// output is the deterministic portion only — what the determinism
+  /// tests and the --jobs cross-checks compare byte-for-byte.
+  void write_json(std::ostream& os, bool include_profile = true) const;
+};
+
+}  // namespace f2t::core

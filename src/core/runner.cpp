@@ -55,48 +55,47 @@ Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
 
 namespace {
 
-/// Runs the simulation to the horizon and, when observation is on, fills
-/// the run's RunObservation: wall-clock timed engine profile, the journal
-/// copied out of the Testbed, and a metrics snapshot at the horizon.
+/// Runs the simulation to the horizon. The engine profile (event count,
+/// wall clock) is always filled — the campaign engine accounts for work
+/// per shard without paying for full observation; the journal and metrics
+/// snapshot are only collected when observation is on.
 void run_and_observe(Testbed& bed, sim::Time horizon,
                      obs::RunObservation& observation) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t executed = bed.sim().run(horizon);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall_start;
-  if (!bed.observing()) return;
-  observation.enabled = true;
   observation.profile.events_executed = executed;
   observation.profile.wall_seconds = wall.count();
   observation.profile.sim_seconds = sim::to_seconds(bed.sim().now());
+  if (!bed.observing()) return;
+  observation.enabled = true;
   observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
   observation.events = bed.obs().journal.events();
 }
 
-}  // namespace
-
-UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
-                         failure::Condition condition,
-                         const RunKnobs& knobs) {
+/// The shared probe-flow body: attach a CBR UDP probe for the plan's
+/// 5-tuple, fail the plan's links at knobs.fail_at, run to the horizon
+/// and collect the paper's metrics. Condition runs and campaign link-site
+/// runs differ only in how the plan is constructed.
+UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
+                    const RunKnobs& knobs) {
   UdpRun out;
-  Testbed bed(builder, knobs.config);
-  bed.converge();
-  const auto plan = failure::build_condition(bed.topo(), condition,
-                                             net::Protocol::kUdp);
-  if (!plan) return out;
-  out.scenario = plan->description;
+  out.scenario = plan.description;
+  out.site_class = plan.site_class;
+  out.probe_on_path = plan.on_path;
 
-  auto& src_stack = bed.stack_of(*plan->src);
-  auto& dst_stack = bed.stack_of(*plan->dst);
-  transport::UdpSink sink(dst_stack, plan->dport);
+  auto& src_stack = bed.stack_of(*plan.src);
+  auto& dst_stack = bed.stack_of(*plan.dst);
+  transport::UdpSink sink(dst_stack, plan.dport);
   transport::UdpCbrSender::Options so;
-  so.sport = plan->sport;
-  so.dport = plan->dport;
+  so.sport = plan.sport;
+  so.dport = plan.dport;
   so.stop = knobs.horizon - sim::millis(200);
-  transport::UdpCbrSender sender(src_stack, plan->dst->addr(), so);
+  transport::UdpCbrSender sender(src_stack, plan.dst->addr(), so);
   sender.start();
 
-  for (net::Link* link : plan->fail_links) {
+  for (net::Link* link : plan.fail_links) {
     bed.injector().fail_at(*link, knobs.fail_at);
   }
   run_and_observe(bed, knobs.horizon, out.observation);
@@ -125,6 +124,29 @@ UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
   out.ok = true;
   if (loss) out.connectivity_loss = loss->duration();
   return out;
+}
+
+}  // namespace
+
+UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
+                         failure::Condition condition,
+                         const RunKnobs& knobs) {
+  Testbed bed(builder, knobs.config);
+  bed.converge();
+  const auto plan = failure::build_condition(bed.topo(), condition,
+                                             net::Protocol::kUdp);
+  if (!plan) return {};
+  return run_udp_plan(bed, *plan, knobs);
+}
+
+UdpRun run_udp_link_site(const Testbed::TopoBuilder& builder, int site,
+                         const RunKnobs& knobs) {
+  Testbed bed(builder, knobs.config);
+  bed.converge();
+  const auto plan =
+      failure::build_link_site_plan(bed.topo(), site, net::Protocol::kUdp);
+  if (!plan) return {};
+  return run_udp_plan(bed, *plan, knobs);
 }
 
 TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,

@@ -37,6 +37,11 @@ struct UdpRun {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_lost = 0;
   std::string scenario;
+  /// Scenario metadata for campaign aggregation: the failure class
+  /// ("C1".."C8" or a link class) and whether the probe flow crossed a
+  /// failed link pre-failure (off-path scenarios expect zero loss).
+  std::string site_class;
+  bool probe_on_path = true;
   stats::TimeSeries delay_series;  ///< per-packet one-way delay (us)
   stats::ThroughputMeter throughput{sim::millis(20)};
   /// Populated when knobs.config.observe is set: metrics snapshot at the
@@ -46,6 +51,12 @@ struct UdpRun {
 
 UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
                          failure::Condition condition,
+                         const RunKnobs& knobs = {});
+
+/// CBR UDP probe through the failure of one enumerated switch-to-switch
+/// link (see failure::build_link_site_plan) — the campaign engine's
+/// exhaustive failure-site axis. Fails only for an out-of-range site.
+UdpRun run_udp_link_site(const Testbed::TopoBuilder& builder, int site,
                          const RunKnobs& knobs = {});
 
 /// Paced TCP probe through a failure condition (Fig 2(b), Fig 4 bottom,

@@ -1,0 +1,87 @@
+#include "exec/campaign.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/runner.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace f2t::exec {
+
+namespace {
+
+core::ControlPlane control_from_name(const std::string& name) {
+  if (name == "ospf") return core::ControlPlane::kOspf;
+  if (name == "central") return core::ControlPlane::kCentral;
+  if (name == "bgp") return core::ControlPlane::kPathVector;
+  throw std::invalid_argument("campaign: unknown control plane: " + name);
+}
+
+}  // namespace
+
+core::ShardResult run_shard(const core::CampaignSpec& spec,
+                            const core::ShardSpec& shard) {
+  core::RunKnobs knobs;
+  knobs.fail_at = spec.fail_at;
+  knobs.horizon = spec.horizon;
+  knobs.config.control_plane = control_from_name(shard.control);
+  knobs.config.detection.down_delay = sim::millis(spec.detection_ms);
+  knobs.config.detection.up_delay = knobs.config.detection.down_delay;
+  knobs.config.ospf.throttle.initial_delay = sim::millis(spec.spf_ms);
+  knobs.config.seed = shard.seed;
+
+  const auto builder = core::topology_builder(
+      shard.topology.name, shard.topology.ports, shard.topology.ring_width,
+      shard.topology.aspen_f);
+  const core::UdpRun run =
+      shard.is_link_site
+          ? core::run_udp_link_site(builder, shard.link_site, knobs)
+          : core::run_udp_condition(builder, shard.condition, knobs);
+
+  core::ShardResult r;
+  r.index = shard.index;
+  r.topology = shard.topology.label();
+  r.control = shard.control;
+  r.site = shard.site();
+  r.site_class = run.site_class;
+  r.replicate = shard.replicate;
+  r.seed = shard.seed;
+  r.ok = run.ok;
+  r.on_path = run.ok && run.probe_on_path;
+  r.connectivity_loss = run.connectivity_loss;
+  r.packets_sent = run.packets_sent;
+  r.packets_lost = run.packets_lost;
+  r.events_executed = run.observation.profile.events_executed;
+  r.wall_seconds = run.observation.profile.wall_seconds;
+  r.scenario = run.scenario;
+  return r;
+}
+
+core::CampaignResult run_campaign(const core::CampaignSpec& spec,
+                                  const CampaignOptions& options) {
+  core::CampaignResult result;
+  result.spec = spec;
+  result.hardware_threads = std::thread::hardware_concurrency();
+
+  const std::vector<core::ShardSpec> shards = core::enumerate_shards(spec);
+  result.runs.resize(shards.size());
+
+  ThreadPool pool(options.jobs);
+  result.jobs = pool.threads();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.parallel_for(shards.size(), [&](std::size_t i) {
+    // Each shard writes only its own pre-assigned slot; the result vector
+    // needs no lock and ends up in shard order regardless of scheduling.
+    result.runs[i] = run_shard(spec, shards[i]);
+    if (options.on_result) options.on_result(result.runs[i]);
+  });
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  result.wall_seconds = wall.count();
+  result.steals = pool.steals();
+  return result;
+}
+
+}  // namespace f2t::exec

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "core/campaign.hpp"
+
+namespace f2t::exec {
+
+/// Campaign engine: shards a core::CampaignSpec into independent
+/// simulations and runs them across a work-stealing ThreadPool.
+///
+/// Determinism contract: every shard builds its own Simulator, Network
+/// and RNG stream (seed = Random::derive_stream_seed(base_seed, index)),
+/// shares no mutable state with any other shard, and writes its result
+/// into a pre-assigned slot of the results vector. The deterministic
+/// portion of the CampaignResult is therefore byte-identical for a given
+/// spec whatever `jobs` is and however the OS schedules the workers.
+
+struct CampaignOptions {
+  int jobs = 1;  ///< <= 0 selects hardware_concurrency
+  /// Optional progress hook, invoked after each shard completes (from the
+  /// worker thread that ran it — must be thread-safe if jobs > 1).
+  std::function<void(const core::ShardResult&)> on_result;
+};
+
+/// Runs one shard in isolation — also the reproduction path: re-running
+/// a single shard of a campaign must produce the very record the full
+/// campaign stored at that index.
+core::ShardResult run_shard(const core::CampaignSpec& spec,
+                            const core::ShardSpec& shard);
+
+core::CampaignResult run_campaign(const core::CampaignSpec& spec,
+                                  const CampaignOptions& options = {});
+
+}  // namespace f2t::exec

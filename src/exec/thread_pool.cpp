@@ -1,0 +1,90 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace f2t::exec {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::size_t& out) {
+  {
+    WorkerQueue& own = queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.items.empty()) {
+      out = own.items.front();
+      own.items.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& victim = queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.items.empty()) {
+      out = victim.items.back();
+      victim.items.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self,
+                             const std::function<void(std::size_t)>& fn) {
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    std::size_t index = 0;
+    if (!try_pop(self, index)) {
+      // Everything is claimed but some task is still running on another
+      // worker; nothing left for us to do.
+      break;
+    }
+    if (!failed_.load(std::memory_order_relaxed)) {
+      try {
+        fn(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  steals_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  if (threads_ <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  queues_ = std::vector<WorkerQueue>(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_[i % workers].items.push_back(i);
+  }
+  remaining_.store(n, std::memory_order_release);
+
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    extra.emplace_back([this, w, &fn] { worker_loop(w, fn); });
+  }
+  worker_loop(0, fn);
+  for (std::thread& t : extra) t.join();
+  queues_.clear();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace f2t::exec

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace f2t::exec {
+
+/// Small work-stealing thread pool for embarrassingly parallel index
+/// spaces. Built for the campaign engine: every task is an independent
+/// simulation whose result slot is pre-assigned, so the pool only has to
+/// distribute indices — determinism is the caller's problem and is solved
+/// upstream by per-shard RNG streams, not by scheduling.
+///
+/// Work distribution: `parallel_for(n, fn)` deals the indices round-robin
+/// across per-worker deques; each worker drains its own deque from the
+/// front and, when empty, steals from the back of a victim's deque.
+/// Stealing from the opposite end keeps contention off the hot path and
+/// moves the largest remaining chunks between workers.
+///
+/// With `threads <= 1` (or n <= 1) the loop runs inline on the calling
+/// thread — no worker threads are ever created, which keeps the
+/// single-job campaign path trivially deterministic to debug and lets the
+/// same binary run under strict sanitizers without thread noise.
+class ThreadPool {
+ public:
+  /// threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n) across the pool and returns when all
+  /// calls finished. The first exception thrown by any fn is rethrown on
+  /// the calling thread after every worker has stopped; remaining queued
+  /// indices are abandoned once an exception is recorded.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  int threads() const { return threads_; }
+
+  /// Number of cross-worker steals in the last parallel_for — exported in
+  /// the campaign profile as a load-balance diagnostic.
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+
+  /// Pops work for `self`: own queue front first, then steal from the
+  /// back of the other queues. Returns false when no work is left
+  /// anywhere (remaining_ == 0 is the termination signal, so a false here
+  /// during draining means "try again", handled by the caller's loop).
+  bool try_pop(std::size_t self, std::size_t& out);
+
+  void worker_loop(std::size_t self,
+                   const std::function<void(std::size_t)>& fn);
+
+  int threads_;
+  std::vector<WorkerQueue> queues_;
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+};
+
+}  // namespace f2t::exec

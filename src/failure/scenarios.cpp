@@ -254,6 +254,7 @@ std::optional<ScenarioPlan> try_build(const topo::BuiltTopology& topo,
   }
   os << "}";
   plan.description = os.str();
+  plan.site_class = condition_name(condition);
   return plan;
 }
 
@@ -272,6 +273,141 @@ std::optional<ScenarioPlan> build_condition(const topo::BuiltTopology& topo,
     }
   }
   return std::nullopt;
+}
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::kTorAgg: return "tor-agg";
+    case LinkClass::kAggCore: return "agg-core";
+    case LinkClass::kAcross: return "across";
+    case LinkClass::kOther: return "other";
+  }
+  return "?";
+}
+
+std::vector<net::Link*> switch_links(const topo::BuiltTopology& topo) {
+  std::vector<net::Link*> out;
+  for (net::Link* link : topo.network->links()) {
+    if (dynamic_cast<net::L3Switch*>(link->end_a().node) != nullptr &&
+        dynamic_cast<net::L3Switch*>(link->end_b().node) != nullptr) {
+      out.push_back(link);
+    }
+  }
+  return out;
+}
+
+LinkClass classify_link(const topo::BuiltTopology& topo,
+                        const net::Link& link) {
+  const auto* a = dynamic_cast<const net::L3Switch*>(link.end_a().node);
+  const auto* b = dynamic_cast<const net::L3Switch*>(link.end_b().node);
+  if (a == nullptr || b == nullptr) return LinkClass::kOther;
+  const auto is_ring_port = [&topo](const net::L3Switch* sw,
+                                    net::PortId port) {
+    const auto it = topo.rings.find(sw);
+    if (it == topo.rings.end()) return false;
+    const auto& ring = it->second;
+    return std::find(ring.right.begin(), ring.right.end(), port) !=
+               ring.right.end() ||
+           std::find(ring.left.begin(), ring.left.end(), port) !=
+               ring.left.end();
+  };
+  if (is_ring_port(a, link.end_a().port) || is_ring_port(b, link.end_b().port)) {
+    return LinkClass::kAcross;
+  }
+  const auto layer = [&topo](const net::L3Switch* sw) {
+    if (std::find(topo.tors.begin(), topo.tors.end(), sw) != topo.tors.end()) {
+      return 0;
+    }
+    if (std::find(topo.aggs.begin(), topo.aggs.end(), sw) != topo.aggs.end()) {
+      return 1;
+    }
+    if (std::find(topo.cores.begin(), topo.cores.end(), sw) !=
+        topo.cores.end()) {
+      return 2;
+    }
+    return -1;
+  };
+  const int la = layer(a);
+  const int lb = layer(b);
+  if (la + lb == 1 && la != lb) return LinkClass::kTorAgg;
+  if (la + lb == 3 && la != lb) return LinkClass::kAggCore;
+  return LinkClass::kOther;
+}
+
+std::optional<ScenarioPlan> build_link_site_plan(
+    const topo::BuiltTopology& topo, int site, net::Protocol proto,
+    std::uint16_t base_sport, int search_budget) {
+  const auto links = switch_links(topo);
+  if (site < 0 || static_cast<std::size_t>(site) >= links.size()) {
+    return std::nullopt;
+  }
+  net::Link* link = links[static_cast<std::size_t>(site)];
+  const LinkClass cls = classify_link(topo, *link);
+
+  // Direct the probe *under* the failed link when the topology tells us
+  // where "under" is: a host of the link's ToR end, else a host in the
+  // pod of an agg end. This makes most ToR-agg and agg-core sites
+  // reachable by some ECMP hash; across links stay off-path by design.
+  const auto hosts_under = [&topo](net::Link::End end) -> const net::Host* {
+    auto* sw = dynamic_cast<net::L3Switch*>(end.node);
+    if (sw == nullptr) return nullptr;
+    const auto it = topo.hosts_of_tor.find(sw);
+    if (it != topo.hosts_of_tor.end() && !it->second.empty()) {
+      return it->second.front();
+    }
+    const int pod = topo.pod_of_agg(sw);
+    if (pod < 0) return nullptr;
+    for (const net::L3Switch* tor :
+         topo.pods[static_cast<std::size_t>(pod)].tors) {
+      const auto ht = topo.hosts_of_tor.find(tor);
+      if (ht != topo.hosts_of_tor.end() && !ht->second.empty()) {
+        return ht->second.front();
+      }
+    }
+    return nullptr;
+  };
+  const net::Host* dst = hosts_under(link->end_a());
+  if (dst == nullptr) dst = hosts_under(link->end_b());
+  if (dst == nullptr) dst = topo.hosts.back();
+  const net::Host* src = topo.hosts.front();
+  if (topo.tor_of_host(src) == topo.tor_of_host(dst)) src = topo.hosts.back();
+  if (src == dst || topo.tor_of_host(src) == topo.tor_of_host(dst)) {
+    return std::nullopt;  // degenerate single-ToR topology
+  }
+
+  ScenarioPlan plan;
+  plan.src = src;
+  plan.dst = dst;
+  plan.sport = base_sport;
+  plan.fail_links = {link};
+  plan.site_class = link_class_name(cls);
+  plan.on_path = false;
+
+  net::Packet probe;
+  probe.src = src->addr();
+  probe.dst = dst->addr();
+  probe.proto = proto;
+  probe.dport = plan.dport;
+  for (int i = 0; i < search_budget; ++i) {
+    const auto sport = static_cast<std::uint16_t>(base_sport + i);
+    probe.sport = sport;
+    const auto traced = trace_route_detailed(*src, *dst, probe);
+    if (traced.empty()) continue;
+    if (std::find(traced.links.begin(), traced.links.end(), link) !=
+        traced.links.end()) {
+      plan.sport = sport;
+      plan.on_path = true;
+      break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "L" << site << " (" << link_class_name(cls) << "): flow "
+     << src->name() << "->" << dst->name() << " sport=" << plan.sport
+     << " failing {" << link_name(link) << "}"
+     << (plan.on_path ? "" : " [off-path]");
+  plan.description = os.str();
+  return plan;
 }
 
 }  // namespace f2t::failure

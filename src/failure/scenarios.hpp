@@ -55,6 +55,14 @@ struct ScenarioPlan {
   net::L3Switch* sx = nullptr;       ///< downward agg on the path
   net::L3Switch* dst_tor = nullptr;  ///< destination ToR
   std::string description;
+  /// Campaign metadata: the aggregation class of this scenario ("C1".."C8"
+  /// for Table IV conditions, the link class for link sites) and whether
+  /// the probe flow actually crosses a failed link pre-failure. An
+  /// off-path scenario is still a valid experiment — its expected loss is
+  /// zero (e.g. failing an idle across link), and campaigns report the
+  /// two populations separately.
+  std::string site_class;
+  bool on_path = true;
 };
 
 /// Builds a Table IV condition against a *converged* topology. Picks the
@@ -68,5 +76,32 @@ std::optional<ScenarioPlan> build_condition(
     const topo::BuiltTopology& topo, Condition condition,
     net::Protocol proto = net::Protocol::kUdp,
     std::uint16_t base_sport = 20000, int search_budget = 512);
+
+/// Which layer pair a switch-to-switch link connects; the per-failure-
+/// class breakdown campaigns aggregate over.
+enum class LinkClass { kTorAgg, kAggCore, kAcross, kOther };
+
+const char* link_class_name(LinkClass c);
+
+/// The failure-site universe for exhaustive campaigns: every
+/// switch-to-switch link (host uplinks excluded) in network construction
+/// order, which is deterministic for a given topology spec — site index i
+/// names the same physical link in every run, on every thread.
+std::vector<net::Link*> switch_links(const topo::BuiltTopology& topo);
+
+LinkClass classify_link(const topo::BuiltTopology& topo,
+                        const net::Link& link);
+
+/// Builds the single-link failure scenario for `site` (an index into
+/// switch_links). Picks a probe flow directed *under* the link where the
+/// topology allows it and searches source ports until the ECMP path
+/// crosses the failed link; when no port in the budget crosses (e.g. an
+/// across link, which carries no pre-failure traffic by design), the plan
+/// is returned with on_path = false and the first candidate flow. Returns
+/// nullopt only for an out-of-range site.
+std::optional<ScenarioPlan> build_link_site_plan(
+    const topo::BuiltTopology& topo, int site,
+    net::Protocol proto = net::Protocol::kUdp,
+    std::uint16_t base_sport = 20000, int search_budget = 256);
 
 }  // namespace f2t::failure

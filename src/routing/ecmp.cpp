@@ -26,7 +26,15 @@ std::uint64_t ecmp_hash(const net::Packet& packet, std::uint64_t salt) {
 std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
                         std::size_t n) {
   if (n == 0) throw std::invalid_argument("ecmp_select: empty next-hop set");
-  return static_cast<std::size_t>(ecmp_hash(packet, salt) % n);
+  // Lemire fixed-point reduction: scale the 64-bit hash into [0, n) with a
+  // 128-bit multiply instead of `% n`. The modulo maps the hash space
+  // unevenly onto any non-power-of-two member count — exactly the 3- and
+  // 5-member sets left behind after a failure — and costs a hardware
+  // divide on the forwarding fast path; the multiply does neither.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(ecmp_hash(packet, salt)) *
+       static_cast<unsigned __int128>(n)) >>
+      64);
 }
 
 const NextHop& ecmp_pick(const net::Packet& packet, std::uint64_t salt,

@@ -16,6 +16,13 @@ namespace f2t::routing {
 std::uint64_t ecmp_hash(const net::Packet& packet, std::uint64_t salt);
 
 /// Picks the ECMP member index for a packet among `n` usable next hops.
+///
+/// Selection is Lemire's fixed-point reduction of the 64-bit hash,
+/// `(hash * n) >> 64` via a 128-bit multiply: unbiased for every member
+/// count (a plain `% n` over-selects low indices for non-power-of-two
+/// sets — e.g. the 3 live uplinks after one failure) and divide-free on
+/// the forwarding fast path. Note: changing this mapping re-routes every
+/// simulated flow, so recorded scenario baselines assume this reduction.
 std::size_t ecmp_select(const net::Packet& packet, std::uint64_t salt,
                         std::size_t n);
 

@@ -15,12 +15,19 @@ SpfThrottle::SpfThrottle(const SpfThrottleConfig& config)
 }
 
 sim::Time SpfThrottle::schedule(sim::Time now) {
-  if (now - last_run_ > 2 * hold_) {
+  if (!pending_ && now - last_run_ > 2 * hold_) {
     hold_ = config_.initial_delay;  // network has been quiet: reset backoff
   }
   const sim::Time when =
       std::max(now + config_.initial_delay, last_run_ + hold_);
-  hold_ = std::min(hold_ * 2, config_.max_wait);
+  // Back off per scheduled *run*, not per trigger: a burst of LSAs that
+  // coalesces into one pending SPF must cost exactly one doubling, or a
+  // single failure's flood inflates every later recovery (Cisco-style
+  // throttling increments the hold once per run of the timer).
+  if (!pending_) {
+    pending_ = true;
+    hold_ = std::min(hold_ * 2, config_.max_wait);
+  }
   return when;
 }
 

@@ -1,10 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <utility>
-
-#include "sim/time.hpp"
 
 namespace f2t::sim {
 
@@ -13,19 +9,5 @@ namespace f2t::sim {
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
-
-/// A scheduled callback. Events with the same timestamp fire in
-/// scheduling order (FIFO), which keeps runs deterministic.
-struct Event {
-  Time at = 0;
-  EventId id = kInvalidEventId;
-  std::function<void()> action;
-
-  /// Min-heap ordering: earliest time first, then earliest id.
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.at != b.at) return a.at > b.at;
-    return a.id > b.id;
-  }
-};
 
 }  // namespace f2t::sim

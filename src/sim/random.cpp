@@ -50,4 +50,19 @@ Random Random::fork() {
   return Random(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
 }
 
+std::uint64_t Random::derive_stream_seed(std::uint64_t root_seed,
+                                         std::uint64_t stream_id) {
+  // SplitMix64 with random access: the stream_id-th state is root +
+  // (stream_id + 1) * gamma, finalized by the SplitMix64 mixer. Two
+  // finalizer rounds keep adjacent stream ids far apart even for small,
+  // structured roots (seed 1, 2, ...), which is exactly the campaign use.
+  std::uint64_t x = root_seed + (stream_id + 1) * 0x9e3779b97f4a7c15ULL;
+  for (int round = 0; round < 2; ++round) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
 }  // namespace f2t::sim

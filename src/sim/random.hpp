@@ -14,7 +14,7 @@ namespace f2t::sim {
 /// — rather than by the underlying normal's mean, which is error-prone.
 class Random {
  public:
-  explicit Random(std::uint64_t seed) : engine_(seed) {}
+  explicit Random(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -45,11 +45,32 @@ class Random {
 
   /// Derives an independent child RNG; used to give each traffic source
   /// its own stream so adding one source does not perturb the others.
+  /// Consumes parent draws: the child depends on how much the parent has
+  /// been used. For order-independent streams use split().
   Random fork();
+
+  /// Derives the `stream_id`-th independent child stream from this RNG's
+  /// *construction seed* — a stateless SplitMix64 jump, so the result
+  /// depends only on (seed, stream_id), never on how much this engine has
+  /// been consumed or on call order. This is what makes sharded campaign
+  /// results bitwise independent of thread count and schedule: shard i
+  /// always simulates with split(i) of the campaign's root seed.
+  Random split(std::uint64_t stream_id) const {
+    return Random(derive_stream_seed(seed_, stream_id));
+  }
+
+  /// The seed-level form of split() for call sites that only carry the
+  /// root seed (campaign sharders, config plumbing).
+  static std::uint64_t derive_stream_seed(std::uint64_t root_seed,
+                                          std::uint64_t stream_id);
+
+  /// The construction seed (identifies the stream, not its position).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -13,29 +13,31 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
     throw std::invalid_argument("Scheduler::schedule_at: empty action");
   }
   const EventId id = next_id_++;
-  queue_.push(Event{at, id, std::move(action)});
-  in_heap_.insert(id);
+  queue_.push(QueuedEvent{at, id});
+  actions_.emplace(id, std::move(action));
   ++live_count_;
   return id;
 }
 
 void Scheduler::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  // Only ids actually sitting in the heap can be cancelled. An id that
-  // has already fired (or was cancelled and reaped) must be a true no-op:
+  // Only ids with a stored action can be cancelled. An id that has
+  // already fired (or was cancelled and reaped) must be a true no-op:
   // remembering it would both leak a tombstone in `cancelled_` and
   // decrement `live_count_` for an event that no longer counts, making
   // has_pending() lie about other, still-live events.
-  if (!in_heap_.contains(id)) return;
-  if (cancelled_.insert(id).second) --live_count_;
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
 }
 
 void Scheduler::drop_cancelled_head() {
   while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
+    const auto it = cancelled_.find(queue_.top().id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    in_heap_.erase(queue_.top().id);
     queue_.pop();
   }
 }
@@ -48,14 +50,15 @@ Time Scheduler::next_event_time() {
 bool Scheduler::step(Time until) {
   drop_cancelled_head();
   if (queue_.empty() || queue_.top().at > until) return false;
-  // Move the action out before popping; the action may schedule/cancel.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const QueuedEvent ev = queue_.top();
   queue_.pop();
-  in_heap_.erase(ev.id);
+  // Move the action out of the side map before running it; the action may
+  // schedule or cancel (including a self-cancel, which is then a no-op).
+  auto node = actions_.extract(ev.id);
   --live_count_;
   now_ = ev.at;
   ++executed_;
-  ev.action();
+  node.mapped()();
   return true;
 }
 

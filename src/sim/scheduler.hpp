@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -13,10 +14,13 @@ namespace f2t::sim {
 
 /// Deterministic discrete-event scheduler.
 ///
-/// A binary min-heap ordered by (time, sequence) guarantees that two runs
-/// with the same inputs execute events in the same order. Cancellation is
-/// lazy: cancelled ids are remembered and skipped when popped, which keeps
-/// schedule/cancel O(log n) without heap surgery.
+/// A binary min-heap of (time, id) keys guarantees that two runs with the
+/// same inputs execute events in the same order; the actions themselves
+/// live in a side map keyed by EventId, so executing an event moves its
+/// action out of the map with no heap surgery (and no const_cast of the
+/// heap top — heap keys are immutable while queued). Cancellation is
+/// lazy: cancelled ids are remembered and their keys skipped when they
+/// surface, which keeps schedule/cancel O(log n).
 class Scheduler {
  public:
   /// Current simulated time. Advances only while running events.
@@ -32,8 +36,8 @@ class Scheduler {
   }
 
   /// Cancels a pending event. Cancelling an already-fired or invalid id
-  /// is a *true* no-op (the common pattern for one-shot timers): ids are
-  /// tracked while in the heap, so a late cancel neither perturbs the
+  /// is a *true* no-op (the common pattern for one-shot timers): actions
+  /// are tracked while scheduled, so a late cancel neither perturbs the
   /// live-event accounting nor leaves tombstones behind.
   void cancel(EventId id);
 
@@ -57,16 +61,28 @@ class Scheduler {
   std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
   /// True if `id` is scheduled and not cancelled.
-  bool is_pending(EventId id) const {
-    return in_heap_.contains(id) && !cancelled_.contains(id);
-  }
+  bool is_pending(EventId id) const { return actions_.contains(id); }
 
  private:
+  /// Heap key of a scheduled event; the action lives in `actions_`.
+  struct QueuedEvent {
+    Time at = 0;
+    EventId id = kInvalidEventId;
+
+    /// Min-heap ordering: earliest time first, then earliest id (FIFO
+    /// among same-timestamp events, which keeps runs deterministic).
+    friend bool operator>(const QueuedEvent& a, const QueuedEvent& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
   void drop_cancelled_head();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
   std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> in_heap_;
   Time now_ = 0;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

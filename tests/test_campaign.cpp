@@ -1,0 +1,223 @@
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "exec/campaign.hpp"
+#include "sim/random.hpp"
+
+namespace f2t {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto v = core::json::parse(
+      R"({"a": 1, "b": -2.5e2, "c": "x\ny\u0041", "d": [true, false, null],
+          "e": {"nested": [1, 2]}})");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("b").as_double(), -250.0);
+  EXPECT_EQ(v.at("c").as_string(), "x\nyA");
+  ASSERT_EQ(v.at("d").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("d").as_array()[0].as_bool());
+  EXPECT_TRUE(v.at("d").as_array()[2].is_null());
+  EXPECT_EQ(v.at("e").at("nested").as_array()[1].as_int(), 2);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(core::json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(core::json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(core::json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(core::json::parse("nul"), std::invalid_argument);
+  EXPECT_THROW(core::json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(core::json::parse("\"\\x\""), std::invalid_argument);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto v = core::json::parse(R"({"a": 1})");
+  EXPECT_THROW(v.at("a").as_string(), std::invalid_argument);
+  EXPECT_THROW(v.at("missing"), std::invalid_argument);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+// --------------------------------------------------------- random split --
+
+TEST(RandomSplit, StreamsAreStableAndDistinct) {
+  sim::Random root(42);
+  // Pure function of (root seed, stream id): any thread, any order.
+  EXPECT_EQ(root.split(3).seed(), sim::Random(42).split(3).seed());
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(sim::Random::derive_stream_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  // Nearby roots must not collide with nearby streams.
+  EXPECT_NE(sim::Random::derive_stream_seed(42, 1),
+            sim::Random::derive_stream_seed(43, 0));
+}
+
+TEST(RandomSplit, SplitStreamsProduceIndependentSequences) {
+  sim::Random root(7);
+  sim::Random a = root.split(0);
+  sim::Random b = root.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.engine()() == b.engine()()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+// ---------------------------------------------------------------- spec --
+
+const char* kSpecText = R"({
+  "name": "unit",
+  "topologies": [{"name": "f2", "ports": 4}],
+  "controls": ["ospf"],
+  "conditions": ["C1", "C2"],
+  "link_sites": 2,
+  "seeds": 2,
+  "base_seed": 9,
+  "horizon_ms": 1500
+})";
+
+TEST(CampaignSpec, ParsesAndEchoesCanonically) {
+  const auto spec = core::CampaignSpec::parse(kSpecText);
+  EXPECT_EQ(spec.name, "unit");
+  ASSERT_EQ(spec.topologies.size(), 1u);
+  EXPECT_EQ(spec.topologies[0].label(), "f2-4");
+  EXPECT_EQ(spec.conditions.size(), 2u);
+  EXPECT_EQ(spec.link_sites, 2);
+  EXPECT_EQ(spec.seeds, 2);
+  EXPECT_EQ(spec.base_seed, 9u);
+
+  // The canonical echo re-parses to the same spec.
+  std::ostringstream os;
+  spec.write_json(os);
+  const auto again = core::CampaignSpec::parse(os.str());
+  std::ostringstream os2;
+  again.write_json(os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(CampaignSpec, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "condtions": ["C1"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(R"({"topologies": []})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C9"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "controls": ["rip"], "conditions": ["C1"]})"),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, EnumerateShardsIsDeterministic) {
+  const auto spec = core::CampaignSpec::parse(kSpecText);
+  const auto shards = core::enumerate_shards(spec);
+  // (2 conditions + 2 link sites) x 2 seeds.
+  ASSERT_EQ(shards.size(), 8u);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].index, static_cast<int>(i));
+    EXPECT_EQ(shards[i].seed,
+              sim::Random::derive_stream_seed(9, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(shards[0].site(), "C1");
+  EXPECT_EQ(shards[0].replicate, 0);
+  EXPECT_EQ(shards[1].replicate, 1);
+  EXPECT_EQ(shards[4].site(), "L0");
+  // "all" link sites resolves to every switch-to-switch link, stably.
+  auto all = spec;
+  all.link_sites = -1;
+  const auto a = core::enumerate_shards(all);
+  const auto b = core::enumerate_shards(all);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), shards.size());
+}
+
+// ------------------------------------------------------------ execution --
+
+/// Shared tiny campaign: 1 condition + 2 link sites, 2 seeds, short
+/// horizon, f2-4 — small enough for a unit test, rich enough to exercise
+/// both failure-site enumerators and the aggregation.
+core::CampaignSpec tiny_spec() {
+  return core::CampaignSpec::parse(R"({
+    "name": "tiny",
+    "topologies": [{"name": "f2", "ports": 4}],
+    "conditions": ["C1"],
+    "link_sites": 2,
+    "seeds": 2,
+    "horizon_ms": 1200
+  })");
+}
+
+TEST(CampaignRun, DeterministicAcrossJobCounts) {
+  const auto spec = tiny_spec();
+  exec::CampaignOptions serial;
+  serial.jobs = 1;
+  exec::CampaignOptions parallel;
+  parallel.jobs = 8;
+  const auto r1 = exec::run_campaign(spec, serial);
+  const auto r8 = exec::run_campaign(spec, parallel);
+  ASSERT_EQ(r1.runs.size(), 6u);
+  std::ostringstream a;
+  std::ostringstream b;
+  r1.write_json(a, /*include_profile=*/false);
+  r8.write_json(b, /*include_profile=*/false);
+  EXPECT_EQ(a.str(), b.str())
+      << "campaign artifact must be byte-identical for any --jobs";
+}
+
+TEST(CampaignRun, SingleShardRerunReproducesCampaignRecord) {
+  const auto spec = tiny_spec();
+  const auto shards = core::enumerate_shards(spec);
+  exec::CampaignOptions options;
+  options.jobs = 4;
+  const auto full = exec::run_campaign(spec, options);
+  ASSERT_EQ(full.runs.size(), shards.size());
+  // Re-running one shard in isolation (as after a killed campaign)
+  // reproduces the exact record the full campaign stored at that index.
+  for (const std::size_t i : {std::size_t{0}, shards.size() - 1}) {
+    const auto redo = exec::run_shard(spec, shards[i]);
+    const auto& ref = full.runs[i];
+    EXPECT_EQ(redo.seed, ref.seed);
+    EXPECT_EQ(redo.ok, ref.ok);
+    EXPECT_EQ(redo.on_path, ref.on_path);
+    EXPECT_EQ(redo.connectivity_loss, ref.connectivity_loss);
+    EXPECT_EQ(redo.packets_sent, ref.packets_sent);
+    EXPECT_EQ(redo.packets_lost, ref.packets_lost);
+    EXPECT_EQ(redo.events_executed, ref.events_executed);
+    EXPECT_EQ(redo.scenario, ref.scenario);
+  }
+}
+
+TEST(CampaignRun, AggregatesCoverEveryRunAndClass) {
+  const auto spec = tiny_spec();
+  exec::CampaignOptions options;
+  options.jobs = 2;
+  const auto result = exec::run_campaign(spec, options);
+  const auto aggregates = core::aggregate_runs(result.runs);
+  ASSERT_FALSE(aggregates.empty());
+  EXPECT_EQ(aggregates[0].key, "total");
+  EXPECT_EQ(aggregates[0].runs, static_cast<int>(result.runs.size()));
+  int grouped = 0;
+  for (std::size_t i = 1; i < aggregates.size(); ++i) {
+    grouped += aggregates[i].runs;
+  }
+  EXPECT_EQ(grouped, aggregates[0].runs);
+  // A C1 failure on the probe path must cost packets; the aggregate's
+  // histogram has to see them.
+  std::uint64_t hist = 0;
+  for (const auto b : aggregates[0].gap_loss_hist) hist += b;
+  EXPECT_EQ(hist, static_cast<std::uint64_t>(aggregates[0].affected));
+}
+
+}  // namespace
+}  // namespace f2t

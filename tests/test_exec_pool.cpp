@@ -1,0 +1,84 @@
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hpp"
+
+namespace f2t {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  exec::ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  exec::ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.parallel_for(64, [&](std::size_t) {
+    // Single-threaded pools never spawn workers, so no lock is needed.
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+  EXPECT_EQ(pool.steals(), 0u);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  exec::ThreadPool pool(8);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  exec::ThreadPool pool(16);
+  std::atomic<int> calls{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  exec::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) {
+                            throw std::runtime_error("shard 37 exploded");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed parallel_for.
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsHardware) {
+  exec::ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -32,6 +32,45 @@ TEST(SpfThrottle, BackoffDoublesUnderChurn) {
   }
 }
 
+// Regression: the throttle used to double the hold on *every* trigger,
+// even when the triggers coalesced into one pending SPF run — so a burst
+// of LSAs from a single failure inflated every later recovery. Cisco-style
+// throttling backs off per run: N coalesced triggers cost one doubling.
+TEST(SpfThrottle, CoalescedTriggersCostOneDoubling) {
+  SpfThrottle t;
+  const sim::Time initial = t.config().initial_delay;
+  ASSERT_EQ(t.current_hold(), initial);
+  // A burst of 16 triggers within one pending run (no ran() in between).
+  sim::Time when = 0;
+  for (int i = 0; i < 16; ++i) {
+    when = t.schedule(sim::seconds(10) + sim::millis(i));
+  }
+  EXPECT_EQ(t.current_hold(), 2 * initial)
+      << "coalesced triggers must not compound the backoff";
+  EXPECT_TRUE(t.pending());
+  // The run fires; the *next* trigger starts a new run and doubles again.
+  t.ran(when);
+  EXPECT_FALSE(t.pending());
+  t.schedule(when + sim::millis(1));
+  EXPECT_EQ(t.current_hold(), 4 * initial);
+}
+
+// Coalesced triggers also keep returning a consistent run time: with the
+// hold frozen while pending, a trigger burst shortly after a run cannot
+// push the next run's scheduled time out run-by-run (the old per-trigger
+// doubling walked it from last_run + 400ms all the way to the 10 s cap).
+TEST(SpfThrottle, PendingRunTimeDoesNotInflate) {
+  SpfThrottle t;
+  t.ran(sim::seconds(10));
+  sim::Time when = 0;
+  for (int i = 1; i <= 16; ++i) {
+    when = t.schedule(sim::seconds(10) + sim::millis(i));
+  }
+  // One doubling: the run lands at last_run + 2 * initial_delay at the
+  // latest (the final trigger's own now + initial floor is even earlier).
+  EXPECT_LE(when, sim::seconds(10) + 2 * t.config().initial_delay);
+}
+
 TEST(SpfThrottle, QuietPeriodResetsBackoff) {
   SpfThrottle t;
   sim::Time now = sim::seconds(1);

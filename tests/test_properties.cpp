@@ -164,6 +164,64 @@ TEST(EcmpProperty, HashSpreadsEvenly) {
   }
 }
 
+// Chi-square uniformity over the non-power-of-two member counts a failure
+// leaves behind (3 live uplinks after one failure, 5 and 6 in wider
+// topologies). Inputs are fixed, so the statistic is deterministic; the
+// bound is the 99.9% critical value for the largest df plus slack. This
+// guards both the hash mix and the hash->index reduction.
+TEST(EcmpProperty, UniformOverNonPowerOfTwoMemberCounts) {
+  for (const std::size_t n : {std::size_t{3}, std::size_t{5}, std::size_t{6}}) {
+    std::vector<std::uint64_t> buckets(n, 0);
+    net::Packet p;
+    p.dport = 9000;
+    const int flows = 60000;
+    int f = 0;
+    for (int s = 0; s < 10; ++s) {
+      for (int d = 0; d < 10; ++d) {
+        for (int sport = 0; f < flows && sport < 600; ++sport, ++f) {
+          p.src = net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(s), 10);
+          p.dst = net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(d), 10);
+          p.sport = static_cast<std::uint16_t>(20000 + sport);
+          buckets[routing::ecmp_select(p, 7, n)]++;
+        }
+      }
+    }
+    const double expected = static_cast<double>(flows) / n;
+    double chi2 = 0;
+    for (const std::uint64_t count : buckets) {
+      const double diff = static_cast<double>(count) - expected;
+      chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 25.0) << "ECMP selection skewed for n=" << n;
+  }
+}
+
+// Regression pin: the member index is Lemire's fixed-point reduction of
+// the five-tuple hash, not `hash % n`. The mapping decides the path of
+// every simulated flow, so silently changing it (e.g. back to the biased
+// modulo) would invalidate every recorded scenario and bench baseline.
+TEST(EcmpProperty, SelectionIsFixedPointReductionOfHash) {
+  net::Packet p;
+  p.dst = net::Ipv4Addr(10, 11, 9, 10);
+  p.dport = 9000;
+  bool differs_from_modulo = false;
+  for (const std::size_t n : {std::size_t{3}, std::size_t{5}, std::size_t{6}}) {
+    for (int sport = 0; sport < 512; ++sport) {
+      p.src = net::Ipv4Addr(10, 11, 0, 10);
+      p.sport = static_cast<std::uint16_t>(sport);
+      const std::uint64_t h = routing::ecmp_hash(p, 7);
+      const auto lemire = static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(h) *
+           static_cast<unsigned __int128>(n)) >>
+          64);
+      ASSERT_EQ(routing::ecmp_select(p, 7, n), lemire);
+      if (lemire != h % n) differs_from_modulo = true;
+    }
+  }
+  EXPECT_TRUE(differs_from_modulo)
+      << "reduction indistinguishable from modulo on this input set";
+}
+
 TEST(EcmpProperty, SaltDecorrelatesSwitches) {
   net::Packet p;
   p.src = net::Ipv4Addr(10, 11, 0, 10);

@@ -8,18 +8,24 @@
 ///                   [--events-out FILE] [--timeline]
 ///   f2tsim workload --topo f2 --ports 8 --seconds 60 --cf 1 [--seed 1]
 ///                   [--log-level LEVEL]
+///   f2tsim campaign --spec FILE [--jobs N] [--out FILE] [--no-profile]
+///                   (or ad hoc: --topo f2 --ports 8 --conditions all
+///                    --link-sites all --seeds 4)
 ///   f2tsim topo     --topo f2 --ports 8 [--dot]
 ///   f2tsim table1   --ports 8 [--aspen-f 1]
 ///
 /// Every command maps onto the same library calls the benches and tests
 /// use, so a CLI run is exactly reproducible in code.
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/cli.hpp"
 #include "core/f2tree.hpp"
 #include "core/runner.hpp"
+#include "exec/campaign.hpp"
 #include "topo/graphviz.hpp"
 
 using namespace f2t;
@@ -37,12 +43,21 @@ int usage() {
       "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
+      "  campaign --spec FILE [--jobs N] [--out FILE] [--no-profile]\n"
+      "           or ad hoc: [--name S] [--topo NAME] [--ports N]\n"
+      "           [--control ospf|central|bgp] [--conditions C1,..|all]\n"
+      "           [--link-sites N|all] [--seeds N] [--base-seed N]\n"
+      "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
+      "           [--aspen-f 1]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
       "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
       "--metrics-out/--events-out/--timeline enable observability: a\n"
       "schema-versioned metrics JSON, a JSONL event journal, and a\n"
-      "reconstructed per-failure recovery timeline on stdout.\n";
+      "reconstructed per-failure recovery timeline on stdout.\n"
+      "campaign shards the spec's failure matrix across --jobs worker\n"
+      "threads; the JSON artifact (minus --no-profile) is byte-identical\n"
+      "for any job count.\n";
   return 2;
 }
 
@@ -230,6 +245,107 @@ int cmd_workload(core::Cli& cli) {
   return 0;
 }
 
+/// Builds a CampaignSpec from ad hoc CLI flags (the no-spec-file path).
+core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
+  core::CampaignSpec spec;
+  spec.name = cli.get("name", "cli");
+  core::CampaignSpec::TopologyAxis axis;
+  axis.name = cli.get("topo", "f2");
+  axis.ports = cli.get_int("ports", 8);
+  axis.ring_width = cli.get_int("ring-width", 2);
+  axis.aspen_f = cli.get_int("aspen-f", 1);
+  spec.topologies = {axis};
+  spec.controls = {cli.get("control", "ospf")};
+  const std::string conditions = cli.get("conditions", "");
+  if (conditions == "all") {
+    using failure::Condition;
+    spec.conditions = {Condition::kC1, Condition::kC2, Condition::kC3,
+                       Condition::kC4, Condition::kC5, Condition::kC6,
+                       Condition::kC7};
+  } else if (!conditions.empty()) {
+    std::istringstream in(conditions);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      spec.conditions.push_back(parse_condition(token));
+    }
+  }
+  const std::string sites = cli.get("link-sites", "0");
+  spec.link_sites = sites == "all" ? -1 : std::stoi(sites);
+  spec.seeds = cli.get_int("seeds", 1);
+  spec.base_seed = static_cast<std::uint64_t>(cli.get_int("base-seed", 1));
+  spec.detection_ms = cli.get_int("detection-ms", 60);
+  spec.spf_ms = cli.get_int("spf-ms", 200);
+  if (spec.conditions.empty() && spec.link_sites == 0) {
+    // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
+    using failure::Condition;
+    spec.conditions = {Condition::kC1, Condition::kC2, Condition::kC3,
+                       Condition::kC4, Condition::kC5, Condition::kC6,
+                       Condition::kC7};
+  }
+  return spec;
+}
+
+int cmd_campaign(core::Cli& cli) {
+  const std::string spec_path = cli.get("spec", "");
+  const int jobs = cli.get_int("jobs", 1);
+  const std::string out_path = cli.get("out", "campaign.json");
+  const bool no_profile = cli.get_flag("no-profile");
+
+  core::CampaignSpec spec;
+  if (!spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::cerr << "cannot read " << spec_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    spec = core::CampaignSpec::parse(buf.str());
+  } else {
+    spec = campaign_spec_from_flags(cli);
+  }
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return usage();
+  }
+
+  exec::CampaignOptions options;
+  options.jobs = jobs;
+  std::atomic<int> done{0};
+  const int total = static_cast<int>(core::enumerate_shards(spec).size());
+  options.on_result = [&done, total](const core::ShardResult&) {
+    const int n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % 16 == 0 || n == total) {
+      std::cerr << "\r" << n << "/" << total << " shards" << std::flush;
+    }
+  };
+  const auto result = exec::run_campaign(spec, options);
+  if (total > 0) std::cerr << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  result.write_json(out, !no_profile);
+
+  stats::Table table({"class", "runs", "affected", "failed", "loss ms mean",
+                      "p50", "p99", "max", "pkts lost"});
+  for (const auto& a : core::aggregate_runs(result.runs)) {
+    table.row({a.key, std::to_string(a.runs), std::to_string(a.affected),
+               std::to_string(a.failed), stats::Table::num(a.loss_ms_mean, 1),
+               stats::Table::num(a.loss_ms_p50, 1),
+               stats::Table::num(a.loss_ms_p99, 1),
+               stats::Table::num(a.loss_ms_max, 1),
+               std::to_string(a.packets_lost_total)});
+  }
+  table.print(std::cout);
+  std::cout << result.runs.size() << " shards, jobs=" << result.jobs
+            << ", wall " << stats::Table::num(result.wall_seconds, 2)
+            << "s, steals=" << result.steals << " -> " << out_path << "\n";
+  return 0;
+}
+
 int cmd_topo(core::Cli& cli) {
   const auto builder = core::topology_builder(
       cli.get("topo", "f2"), cli.get_int("ports", 8),
@@ -278,6 +394,7 @@ int main(int argc, char** argv) {
     if (!cli.has_command()) return usage();
     if (cli.command() == "recover") return cmd_recover(cli);
     if (cli.command() == "workload") return cmd_workload(cli);
+    if (cli.command() == "campaign") return cmd_campaign(cli);
     if (cli.command() == "topo") return cmd_topo(cli);
     if (cli.command() == "table1") return cmd_table1(cli);
     std::cerr << "unknown command: " << cli.command() << "\n";
