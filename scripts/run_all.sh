@@ -127,6 +127,61 @@ else
   fail=1
 fi
 
+echo "== probe-BFD gray-failure campaign smoke =="
+# Probe-based detection with a gray fault: BFD hello sessions must detect
+# the silent packet-loss failure and the campaign artifact must stay
+# schema-valid, echo the non-default knobs, and remain byte-identical
+# across job counts.
+if "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1 \
+      --link-sites 2 --seeds 2 --jobs 4 --no-profile \
+      --detection probe --fault gray \
+      --out "$OUT/campaign_probe_j4.json" >"$OUT/campaign_probe.txt" 2>&1 \
+    && "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1 \
+      --link-sites 2 --seeds 2 --jobs 1 --no-profile \
+      --detection probe --fault gray \
+      --out "$OUT/campaign_probe_j1.json" >>"$OUT/campaign_probe.txt" 2>&1; then
+  if ! cmp -s "$OUT/campaign_probe_j1.json" "$OUT/campaign_probe_j4.json"; then
+    echo "BAD     probe campaign artifact differs between --jobs 1 and --jobs 4"
+    fail=1
+  fi
+  python3 - "$OUT/campaign_probe_j4.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+    spec = doc["spec"]
+    if spec.get("detection") != "probe":
+        raise ValueError("spec must echo detection=probe")
+    if spec.get("fault") != "gray":
+        raise ValueError("spec must echo fault=gray")
+    if not doc["runs"]:
+        raise ValueError("no runs")
+    bad = [r["i"] for r in doc["runs"] if not r["ok"]]
+    if bad:
+        raise ValueError(f"runs {bad} failed")
+    # A gray failure is invisible to the oracle but not to BFD probes:
+    # every affected run must measure a bounded (nonzero, recovered)
+    # connectivity gap.
+    affected = [r for r in doc["runs"] if r["on_path"]]
+    if not affected:
+        raise ValueError("no run steered traffic across the gray link")
+    for r in affected:
+        if not (0 < r["loss_ns"] < 500_000_000):
+            raise ValueError(f"run {r['i']} gap {r['loss_ns']}ns not in (0, 500ms)")
+    print(f"OK      {path} ({len(doc['runs'])} runs, "
+          f"{len(affected)} affected, probe detection)")
+except (OSError, KeyError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {path}: {e}")
+    sys.exit(1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "probe campaign smoke FAILED (see $OUT/campaign_probe.txt)"
+  fail=1
+fi
+
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue

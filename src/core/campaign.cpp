@@ -62,7 +62,9 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
   check_known_keys(doc,
                    {"name", "topologies", "controls", "conditions",
                     "link_sites", "seeds", "base_seed", "detection_ms",
-                    "spf_ms", "fail_at_ms", "horizon_ms"},
+                    "spf_ms", "fail_at_ms", "horizon_ms", "detection",
+                    "bfd_tx_ms", "bfd_multiplier", "dampening", "fault",
+                    "gray_loss", "flap_period_ms", "flap_cycles"},
                    "spec");
   CampaignSpec spec;
   spec.name = doc.string_or("name", spec.name);
@@ -132,6 +134,39 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
   if (spec.horizon <= spec.fail_at) {
     throw std::invalid_argument("campaign: horizon_ms <= fail_at_ms");
   }
+
+  spec.detection = doc.string_or("detection", spec.detection);
+  if (spec.detection != "oracle" && spec.detection != "probe") {
+    throw std::invalid_argument("campaign: unknown detection \"" +
+                                spec.detection + "\" (oracle|probe)");
+  }
+  spec.bfd_tx_ms = static_cast<int>(doc.int_or("bfd_tx_ms", spec.bfd_tx_ms));
+  spec.bfd_multiplier =
+      static_cast<int>(doc.int_or("bfd_multiplier", spec.bfd_multiplier));
+  if (spec.bfd_tx_ms < 1 || spec.bfd_multiplier < 1) {
+    throw std::invalid_argument("campaign: bfd_tx_ms/bfd_multiplier < 1");
+  }
+  spec.dampening = doc.bool_or("dampening", spec.dampening);
+  if (const json::Value* fault = doc.find("fault")) {
+    const auto kind = failure::parse_fault_kind(fault->as_string());
+    if (!kind) {
+      throw std::invalid_argument("campaign: unknown fault \"" +
+                                  fault->as_string() +
+                                  "\" (cut|unidir|gray|flap)");
+    }
+    spec.fault = *kind;
+  }
+  spec.gray_loss = doc.number_or("gray_loss", spec.gray_loss);
+  if (spec.gray_loss < 0 || spec.gray_loss > 1) {
+    throw std::invalid_argument("campaign: gray_loss outside [0, 1]");
+  }
+  spec.flap_period_ms =
+      static_cast<int>(doc.int_or("flap_period_ms", spec.flap_period_ms));
+  spec.flap_cycles =
+      static_cast<int>(doc.int_or("flap_cycles", spec.flap_cycles));
+  if (spec.flap_period_ms < 1 || spec.flap_cycles < 1) {
+    throw std::invalid_argument("campaign: flap_period_ms/flap_cycles < 1");
+  }
   return spec;
 }
 
@@ -161,8 +196,36 @@ void CampaignSpec::write_json(std::ostream& os, int indent) const {
      << pad << "  \"detection_ms\": " << detection_ms << ",\n"
      << pad << "  \"spf_ms\": " << spf_ms << ",\n"
      << pad << "  \"fail_at_ms\": " << sim::to_millis(fail_at) << ",\n"
-     << pad << "  \"horizon_ms\": " << sim::to_millis(horizon) << "\n"
-     << pad << "}";
+     << pad << "  \"horizon_ms\": " << sim::to_millis(horizon);
+  // Detection/fault axes appear only when they differ from the defaults,
+  // so a spec that predates them echoes byte-identically.
+  const CampaignSpec defaults;
+  if (detection != defaults.detection) {
+    os << ",\n" << pad << "  \"detection\": \"" << detection << "\"";
+  }
+  if (bfd_tx_ms != defaults.bfd_tx_ms) {
+    os << ",\n" << pad << "  \"bfd_tx_ms\": " << bfd_tx_ms;
+  }
+  if (bfd_multiplier != defaults.bfd_multiplier) {
+    os << ",\n" << pad << "  \"bfd_multiplier\": " << bfd_multiplier;
+  }
+  if (dampening != defaults.dampening) {
+    os << ",\n" << pad << "  \"dampening\": " << (dampening ? "true" : "false");
+  }
+  if (fault != defaults.fault) {
+    os << ",\n"
+       << pad << "  \"fault\": \"" << failure::fault_kind_name(fault) << "\"";
+  }
+  if (gray_loss != defaults.gray_loss) {
+    os << ",\n" << pad << "  \"gray_loss\": " << fmt(gray_loss);
+  }
+  if (flap_period_ms != defaults.flap_period_ms) {
+    os << ",\n" << pad << "  \"flap_period_ms\": " << flap_period_ms;
+  }
+  if (flap_cycles != defaults.flap_cycles) {
+    os << ",\n" << pad << "  \"flap_cycles\": " << flap_cycles;
+  }
+  os << "\n" << pad << "}";
 }
 
 std::string ShardSpec::site() const {
@@ -290,8 +353,11 @@ void CampaignResult::write_json(std::ostream& os,
        << ", \"on_path\": " << (r.on_path ? "true" : "false")
        << ", \"loss_ns\": " << r.connectivity_loss
        << ", \"sent\": " << r.packets_sent << ", \"lost\": " << r.packets_lost
-       << ", \"events\": " << r.events_executed << "}"
-       << (i + 1 < runs.size() ? "," : "") << "\n";
+       << ", \"events\": " << r.events_executed;
+    if (!r.error.empty()) {
+      os << ", \"error\": \"" << json::escape(r.error) << "\"";
+    }
+    os << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"aggregates\": [\n";
   const auto aggregates = aggregate_runs(runs);

@@ -50,6 +50,18 @@ struct CampaignSpec {
   int spf_ms = 200;
   sim::Time fail_at = sim::millis(380);
   sim::Time horizon = sim::seconds(3);
+  /// Detection + fault model. The defaults reproduce the pre-existing
+  /// campaign behaviour exactly, and write_json emits these keys only
+  /// when they differ from the defaults — a spec that does not use them
+  /// produces a byte-identical artifact to older builds.
+  std::string detection = "oracle";  ///< "oracle" | "probe"
+  int bfd_tx_ms = 20;                ///< probe hello interval
+  int bfd_multiplier = 3;            ///< missed hellos before down
+  bool dampening = true;             ///< probe-mode flap dampening
+  failure::FaultKind fault = failure::FaultKind::kCut;
+  double gray_loss = 1.0;    ///< drop probability for "gray"
+  int flap_period_ms = 300;  ///< full down/up cycle for "flap"
+  int flap_cycles = 5;
 
   /// Builds a spec from parsed JSON; throws std::invalid_argument on
   /// missing/mistyped fields and on unknown keys (typos must fail loudly,
@@ -104,6 +116,12 @@ struct ShardResult {
   std::size_t events_executed = 0;
   double wall_seconds = 0;
   std::string scenario;
+  /// Populated when the shard threw instead of completing: the exception
+  /// message, recorded per shard so one poisoned axis value cannot abort
+  /// the rest of the campaign. Emitted in the artifact only when
+  /// non-empty (deterministic: the message depends on the spec, not on
+  /// scheduling), with ok = false.
+  std::string error;
 };
 
 /// Aggregate recovery statistics over one failure class (one

@@ -69,9 +69,14 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
     }
   }
 
-  detection_ =
-      std::make_unique<routing::DetectionAgent>(*network_, config_.detection);
-  detection_->attach_all();
+  if (config_.detection.mode == routing::DetectionMode::kProbe) {
+    bfd_ = std::make_unique<routing::BfdManager>(*network_, config_.bfd);
+    bfd_->attach_all();
+  } else {
+    detection_ = std::make_unique<routing::DetectionAgent>(*network_,
+                                                           config_.detection);
+    detection_->attach_all();
+  }
 
   for (net::Host* host : topo_.hosts) {
     auto stack = std::make_unique<transport::HostStack>(*host);
@@ -95,7 +100,13 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
     }
     obs::register_metrics(obs_->metrics, *network_);
     obs::register_metrics(obs_->metrics, *sim_);
-    obs::register_metrics(obs_->metrics, *detection_);
+    if (detection_ != nullptr) {
+      obs::register_metrics(obs_->metrics, *detection_);
+    }
+    if (bfd_ != nullptr) {
+      obs::attach_journal(*sim_, *bfd_, obs_->journal);
+      obs::register_metrics(obs_->metrics, *bfd_);
+    }
     if (!ospf_.empty()) {
       auto ospf_probe = [this](auto field) {
         return [this, field]() {
@@ -217,6 +228,14 @@ std::vector<transport::HostStack*> Testbed::stacks() {
   out.reserve(stacks_.size());
   for (const auto& stack : stacks_) out.push_back(stack.get());
   return out;
+}
+
+routing::BfdManager& Testbed::bfd() {
+  if (bfd_ == nullptr) {
+    throw std::logic_error(
+        "Testbed: not running probe detection (set detection.mode = kProbe)");
+  }
+  return *bfd_;
 }
 
 routing::Ospf::Counters Testbed::total_ospf_counters() const {

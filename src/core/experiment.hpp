@@ -7,6 +7,7 @@
 
 #include "failure/injector.hpp"
 #include "obs/observer.hpp"
+#include "routing/bfd.hpp"
 #include "routing/central.hpp"
 #include "routing/detection.hpp"
 #include "routing/ospf.hpp"
@@ -37,6 +38,8 @@ struct TestbedConfig {
   routing::CentralConfig central;
   routing::PathVectorConfig path_vector;
   routing::DetectionConfig detection;
+  /// Timing + dampening for DetectionMode::kProbe; ignored under kOracle.
+  routing::BfdConfig bfd;
   net::LinkParams link;
   BackupMode backup = BackupMode::kAuto;
   std::uint64_t seed = 1;
@@ -87,6 +90,9 @@ class Testbed {
   /// Aggregate control-plane counters across all switches.
   routing::Ospf::Counters total_ospf_counters() const;
 
+  /// The probe-based detector. Throws under DetectionMode::kOracle.
+  routing::BfdManager& bfd();
+
   /// True when the config requested observability and obs() is usable.
   bool observing() const { return obs_ != nullptr; }
 
@@ -106,7 +112,8 @@ class Testbed {
   std::vector<std::unique_ptr<routing::PathVector>> path_vector_;
   std::unordered_map<const net::L3Switch*, routing::PathVector*>
       path_vector_by_switch_;
-  std::unique_ptr<routing::DetectionAgent> detection_;
+  std::unique_ptr<routing::DetectionAgent> detection_;  // kOracle
+  std::unique_ptr<routing::BfdManager> bfd_;            // kProbe
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;
   std::unordered_map<const net::Host*, transport::HostStack*> stack_by_host_;
   std::unique_ptr<failure::FailureInjector> injector_;

@@ -95,9 +95,8 @@ UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
   transport::UdpCbrSender sender(src_stack, plan.dst->addr(), so);
   sender.start();
 
-  for (net::Link* link : plan.fail_links) {
-    bed.injector().fail_at(*link, knobs.fail_at);
-  }
+  failure::apply_fault(bed.topo(), bed.injector(), plan, knobs.fault,
+                       knobs.fail_at);
   run_and_observe(bed, knobs.horizon, out.observation);
 
   out.packets_sent = sender.packets_sent();
@@ -173,9 +172,8 @@ TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
   transport::PacedTcpWriter writer(conn.a(), bed.sim(), wo);
   writer.start();
 
-  for (net::Link* link : plan->fail_links) {
-    bed.injector().fail_at(*link, knobs.fail_at);
-  }
+  failure::apply_fault(bed.topo(), bed.injector(), *plan, knobs.fault,
+                       knobs.fail_at);
   if (bed.observing()) {
     const auto& stats = conn.a().stats();
     bed.obs().metrics.register_probe("tcp.rto_fires", [&stats]() {

@@ -27,6 +27,9 @@ struct RunKnobs {
   sim::Time horizon = sim::seconds(3);
   TestbedConfig config;
   transport::TcpConfig tcp;
+  /// How the planned links fail at fail_at (bidirectional cut by default;
+  /// see failure::FaultSpec for the unidirectional/gray/flap models).
+  failure::FaultSpec fault;
 };
 
 /// CBR UDP probe through a failure condition (Fig 2(a), Fig 4, Fig 5,

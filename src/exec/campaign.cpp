@@ -28,8 +28,18 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   knobs.config.control_plane = control_from_name(shard.control);
   knobs.config.detection.down_delay = sim::millis(spec.detection_ms);
   knobs.config.detection.up_delay = knobs.config.detection.down_delay;
+  if (spec.detection == "probe") {
+    knobs.config.detection.mode = routing::DetectionMode::kProbe;
+    knobs.config.bfd.tx_interval = sim::millis(spec.bfd_tx_ms);
+    knobs.config.bfd.miss_multiplier = spec.bfd_multiplier;
+    knobs.config.bfd.dampening.enabled = spec.dampening;
+  }
   knobs.config.ospf.throttle.initial_delay = sim::millis(spec.spf_ms);
   knobs.config.seed = shard.seed;
+  knobs.fault.kind = spec.fault;
+  knobs.fault.gray_loss = spec.gray_loss;
+  knobs.fault.flap_period = sim::millis(spec.flap_period_ms);
+  knobs.fault.flap_cycles = spec.flap_cycles;
 
   const auto builder = core::topology_builder(
       shard.topology.name, shard.topology.ports, shard.topology.ring_width,
@@ -74,7 +84,26 @@ core::CampaignResult run_campaign(const core::CampaignSpec& spec,
   pool.parallel_for(shards.size(), [&](std::size_t i) {
     // Each shard writes only its own pre-assigned slot; the result vector
     // needs no lock and ends up in shard order regardless of scheduling.
-    result.runs[i] = run_shard(spec, shards[i]);
+    // A throwing shard must not poison the pool (parallel_for would
+    // rethrow and abandon the remaining shards): capture the failure as
+    // this shard's result instead. The record is deterministic — identity
+    // comes from the ShardSpec and the message from the spec-dependent
+    // exception, not from scheduling.
+    try {
+      result.runs[i] = run_shard(spec, shards[i]);
+    } catch (const std::exception& e) {
+      core::ShardResult r;
+      const core::ShardSpec& s = shards[i];
+      r.index = s.index;
+      r.topology = s.topology.label();
+      r.control = s.control;
+      r.site = s.site();
+      r.replicate = s.replicate;
+      r.seed = s.seed;
+      r.ok = false;
+      r.error = e.what();
+      result.runs[i] = std::move(r);
+    }
     if (options.on_result) options.on_result(result.runs[i]);
   });
   const std::chrono::duration<double> wall =

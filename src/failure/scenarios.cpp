@@ -410,4 +410,83 @@ std::optional<ScenarioPlan> build_link_site_plan(
   return plan;
 }
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCut: return "cut";
+    case FaultKind::kUnidirectional: return "unidir";
+    case FaultKind::kGray: return "gray";
+    case FaultKind::kFlap: return "flap";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) {
+  if (name == "cut") return FaultKind::kCut;
+  if (name == "unidir") return FaultKind::kUnidirectional;
+  if (name == "gray") return FaultKind::kGray;
+  if (name == "flap") return FaultKind::kFlap;
+  return std::nullopt;
+}
+
+namespace {
+
+int layer_of(const topo::BuiltTopology& topo, const net::L3Switch* sw) {
+  if (std::find(topo.tors.begin(), topo.tors.end(), sw) != topo.tors.end()) {
+    return 0;
+  }
+  if (std::find(topo.aggs.begin(), topo.aggs.end(), sw) != topo.aggs.end()) {
+    return 1;
+  }
+  if (std::find(topo.cores.begin(), topo.cores.end(), sw) !=
+      topo.cores.end()) {
+    return 2;
+  }
+  return -1;
+}
+
+}  // namespace
+
+const net::Node& upper_end(const topo::BuiltTopology& topo,
+                           const net::Link& link) {
+  const auto* a = dynamic_cast<const net::L3Switch*>(link.end_a().node);
+  const auto* b = dynamic_cast<const net::L3Switch*>(link.end_b().node);
+  if (a != nullptr && b != nullptr && layer_of(topo, b) > layer_of(topo, a)) {
+    return *link.end_b().node;
+  }
+  return *link.end_a().node;
+}
+
+void apply_fault(const topo::BuiltTopology& topo, FailureInjector& injector,
+                 const ScenarioPlan& plan, const FaultSpec& spec,
+                 sim::Time when) {
+  auto& sim = injector.network().simulator();
+  for (net::Link* link : plan.fail_links) {
+    switch (spec.kind) {
+      case FaultKind::kCut:
+        injector.fail_at(*link, when);
+        break;
+      case FaultKind::kUnidirectional:
+        injector.fail_direction_at(*link, upper_end(topo, *link), when);
+        break;
+      case FaultKind::kGray: {
+        // Gray failures never transition the link, so they bypass the
+        // injector's up/down history — the link simply starts eating
+        // `gray_loss` of the downward direction's packets.
+        const auto direction = link->direction_from(upper_end(topo, *link));
+        sim.at(when, [link, direction, &sim, rate = spec.gray_loss] {
+          link->set_loss_rate(direction, rate, &sim.random());
+        });
+        break;
+      }
+      case FaultKind::kFlap:
+        for (int cycle = 0; cycle < spec.flap_cycles; ++cycle) {
+          const sim::Time down_at = when + cycle * spec.flap_period;
+          injector.fail_at(*link, down_at);
+          injector.recover_at(*link, down_at + spec.flap_period / 2);
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace f2t::failure

@@ -2,8 +2,10 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "failure/injector.hpp"
 #include "topo/topology.hpp"
 
 namespace f2t::failure {
@@ -103,5 +105,45 @@ std::optional<ScenarioPlan> build_link_site_plan(
     const topo::BuiltTopology& topo, int site,
     net::Protocol proto = net::Protocol::kUdp,
     std::uint16_t base_sport = 20000, int search_budget = 256);
+
+/// How the planned links fail. kCut is the paper's bidirectional
+/// interface-down failure; the rest are the adversarial fault models the
+/// probe-based detector exists for:
+///  - kUnidirectional: only the downward direction (upper layer → lower)
+///    is cut. The oracle still sees a transition; a real detector has to
+///    discover it from asymmetric hello loss.
+///  - kGray: the downward direction silently drops `gray_loss` of its
+///    packets. No physical transition ever happens, so oracle-mode
+///    detection is structurally blind to it.
+///  - kFlap: the link cycles down/up `flap_cycles` times with period
+///    `flap_period` (down for half, up for half), ending up — the
+///    route-churn generator flap dampening is measured against.
+enum class FaultKind { kCut, kUnidirectional, kGray, kFlap };
+
+const char* fault_kind_name(FaultKind kind);
+/// Parses "cut" / "unidir" / "gray" / "flap"; nullopt otherwise.
+std::optional<FaultKind> parse_fault_kind(std::string_view name);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCut;
+  double gray_loss = 1.0;  ///< drop probability for kGray
+  sim::Time flap_period = sim::millis(300);
+  int flap_cycles = 5;
+};
+
+/// The end of `link` on the higher topology layer (core > agg > ToR) —
+/// the origin of its downward direction. Across links connect peers;
+/// those (and unknown layers) deterministically resolve to end_a.
+const net::Node& upper_end(const topo::BuiltTopology& topo,
+                           const net::Link& link);
+
+/// Applies `spec` to every link in `plan.fail_links` starting at `when`.
+/// kCut goes through the injector exactly as before (byte-identical
+/// schedules for existing experiments); kUnidirectional and kGray act on
+/// the downward direction per upper_end; kFlap schedules the full
+/// down/up train through the injector so the history stays auditable.
+void apply_fault(const topo::BuiltTopology& topo, FailureInjector& injector,
+                 const ScenarioPlan& plan, const FaultSpec& spec,
+                 sim::Time when);
 
 }  // namespace f2t::failure

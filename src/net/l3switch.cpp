@@ -40,7 +40,9 @@ const routing::Fib::HopVec& L3Switch::resolve_next_hops(Ipv4Addr dst) const {
 void L3Switch::receive(PortId p, Packet packet) {
   if (packet.proto == Protocol::kRouting) {
     ++counters_.control_in;
-    if (control_handler_) control_handler_(p, packet);
+    for (const ControlHandler& handler : control_handlers_) {
+      handler(p, packet);
+    }
     return;
   }
   if (packet.dst == router_id_) {

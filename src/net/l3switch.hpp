@@ -79,8 +79,21 @@ class L3Switch : public Node {
     return route_cache_.last_source();
   }
 
+  /// Appends a control-plane handler; every handler sees every
+  /// Protocol::kRouting packet and filters by payload type itself, so a
+  /// routing protocol and a BFD session manager can share the wire.
+  void add_control_handler(ControlHandler handler) {
+    if (handler) control_handlers_.push_back(std::move(handler));
+  }
+  /// Compatibility shim for the historic single-handler API: *replaces*
+  /// all handlers with `handler` (nullptr uninstalls them all). Prefer
+  /// add_control_handler.
   void set_control_handler(ControlHandler handler) {
-    control_handler_ = std::move(handler);
+    control_handlers_.clear();
+    add_control_handler(std::move(handler));
+  }
+  std::size_t control_handler_count() const {
+    return control_handlers_.size();
   }
   void add_port_state_handler(PortStateHandler handler) {
     port_state_handlers_.push_back(std::move(handler));
@@ -113,7 +126,7 @@ class L3Switch : public Node {
   mutable std::vector<bool> detected_up_;  // grown lazily as ports attach
   mutable routing::ResolvedRouteCache route_cache_;
   std::uint64_t port_epoch_ = 0;
-  ControlHandler control_handler_;
+  std::vector<ControlHandler> control_handlers_;
   std::vector<PortStateHandler> port_state_handlers_;
   std::vector<ForwardTap> forward_taps_;
   DropHandler drop_handler_;

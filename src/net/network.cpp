@@ -61,6 +61,7 @@ Link& Network::connect(Node& a, Node& b, const LinkParams& params) {
                   dynamic_cast<L3Switch*>(&b) != nullptr);
   b.set_port_peer(pb, a.id(), l3_addr_of(a),
                   dynamic_cast<L3Switch*>(&a) != nullptr);
+  for (const LinkHook& hook : link_hooks_) hook(ref);
   return ref;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -71,6 +72,15 @@ class Network {
     return connect(a, b, default_params_);
   }
 
+  /// Fired at the end of every connect(), after the link is fully wired.
+  /// This is how layers that observe "every link" (failure detection,
+  /// observability) see links added after their attach call — without it,
+  /// a late connect() silently escapes detection.
+  using LinkHook = std::function<void(Link&)>;
+  void add_link_hook(LinkHook hook) {
+    link_hooks_.push_back(std::move(hook));
+  }
+
  private:
   Ipv4Addr l3_addr_of(const Node& node) const;
 
@@ -78,6 +88,7 @@ class Network {
   LinkParams default_params_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<LinkHook> link_hooks_;
   std::unordered_map<std::string, NodeId> by_name_;
 };
 

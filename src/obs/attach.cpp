@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "net/network.hpp"
+#include "routing/bfd.hpp"
 #include "routing/central.hpp"
 #include "routing/detection.hpp"
 #include "routing/ospf.hpp"
@@ -251,6 +252,32 @@ void register_metrics(MetricsRegistry& registry, sim::Simulator& sim) {
   });
 }
 
+void attach_journal(sim::Simulator& sim, routing::BfdManager& bfd,
+                    EventJournal& journal) {
+  bfd.set_obs_hook([&sim, &journal](routing::BfdManager::ObsEvent event,
+                                    net::NodeId node, net::PortId port) {
+    Event e;
+    e.at = sim.now();
+    e.node = node;
+    e.port = port;
+    switch (event) {
+      case routing::BfdManager::ObsEvent::kSessionUp:
+        e.type = EventType::kBfdSessionUp;
+        break;
+      case routing::BfdManager::ObsEvent::kSessionDown:
+        e.type = EventType::kBfdSessionDown;
+        break;
+      case routing::BfdManager::ObsEvent::kSuppress:
+        e.type = EventType::kBfdSuppress;
+        break;
+      case routing::BfdManager::ObsEvent::kReuse:
+        e.type = EventType::kBfdReuse;
+        break;
+    }
+    journal.record(e);
+  });
+}
+
 void register_metrics(MetricsRegistry& registry,
                       routing::DetectionAgent& detection) {
   registry.register_probe("detection.reports_scheduled", [&detection]() {
@@ -262,6 +289,40 @@ void register_metrics(MetricsRegistry& registry,
   registry.register_probe("detection.detections_fired", [&detection]() {
     return static_cast<double>(detection.counters().detections_fired);
   });
+}
+
+void register_metrics(MetricsRegistry& registry, routing::BfdManager& bfd) {
+  const auto probe = [&bfd](auto field) {
+    return [&bfd, field]() {
+      return static_cast<double>(field(bfd.counters()));
+    };
+  };
+  using Counters = routing::BfdManager::Counters;
+  registry.register_probe("bfd.hellos_sent", probe([](const Counters& c) {
+                            return c.hellos_sent;
+                          }));
+  registry.register_probe("bfd.hellos_received", probe([](const Counters& c) {
+                            return c.hellos_received;
+                          }));
+  registry.register_probe("bfd.hellos_missed", probe([](const Counters& c) {
+                            return c.hellos_missed;
+                          }));
+  registry.register_probe("bfd.sessions_up", probe([](const Counters& c) {
+                            return c.sessions_up;
+                          }));
+  registry.register_probe("bfd.sessions_down", probe([](const Counters& c) {
+                            return c.sessions_down;
+                          }));
+  registry.register_probe("bfd.remote_down_signals",
+                          probe([](const Counters& c) {
+                            return c.remote_down_signals;
+                          }));
+  registry.register_probe("bfd.suppresses", probe([](const Counters& c) {
+                            return c.suppresses;
+                          }));
+  registry.register_probe("bfd.reuses", probe([](const Counters& c) {
+                            return c.reuses;
+                          }));
 }
 
 }  // namespace f2t::obs

@@ -11,6 +11,7 @@ class Ospf;
 class CentralController;
 class PathVector;
 class DetectionAgent;
+class BfdManager;
 }  // namespace f2t::routing
 namespace f2t::sim {
 class Simulator;
@@ -50,6 +51,11 @@ void attach_journal(sim::Simulator& sim, routing::CentralController& controller,
 void attach_journal(sim::Simulator& sim, routing::PathVector& path_vector,
                     EventJournal& journal);
 
+/// Installs BFD milestone hooks (session up/down, dampening
+/// suppress/reuse), stamped with the session's switch and port.
+void attach_journal(sim::Simulator& sim, routing::BfdManager& bfd,
+                    EventJournal& journal);
+
 /// Registers network-wide aggregate probes: forwarding counters, link and
 /// queue accounting, route-cache hit rates, host delivery counts. Pull
 /// style — nothing is touched until snapshot time.
@@ -62,5 +68,9 @@ void register_metrics(MetricsRegistry& registry, sim::Simulator& sim);
 /// detections fired).
 void register_metrics(MetricsRegistry& registry,
                       routing::DetectionAgent& detection);
+
+/// Registers BFD probes (hellos sent/received/missed, session
+/// transitions, dampening suppress/reuse counts).
+void register_metrics(MetricsRegistry& registry, routing::BfdManager& bfd);
 
 }  // namespace f2t::obs

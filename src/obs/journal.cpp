@@ -18,6 +18,10 @@ const char* event_type_name(EventType type) {
     case EventType::kBgpUpdateReceived: return "bgp_update_received";
     case EventType::kPacketDrop: return "packet_drop";
     case EventType::kPacketDelivered: return "packet_delivered";
+    case EventType::kBfdSessionUp: return "bfd_session_up";
+    case EventType::kBfdSessionDown: return "bfd_session_down";
+    case EventType::kBfdSuppress: return "bfd_suppress";
+    case EventType::kBfdReuse: return "bfd_reuse";
   }
   return "?";
 }

@@ -29,6 +29,10 @@ enum class EventType : std::uint8_t {
   kBgpUpdateReceived,
   kPacketDrop,
   kPacketDelivered,
+  kBfdSessionUp,
+  kBfdSessionDown,
+  kBfdSuppress,  ///< flap dampening holds the port detected-down
+  kBfdReuse,     ///< penalty decayed below reuse; session state restored
 };
 
 const char* event_type_name(EventType type);

@@ -17,6 +17,13 @@ void DetectionAgent::attach_all() {
     link->add_observer(
         [this](net::Link& l, bool up) { on_link_event(l, up); });
   }
+  // Links connected after this call get the same observer the moment they
+  // are wired; without this, a late add_host/connect produced a link whose
+  // failures were never detected.
+  network_.add_link_hook([this](net::Link& link) {
+    link.add_observer(
+        [this](net::Link& l, bool up) { on_link_event(l, up); });
+  });
 }
 
 void DetectionAgent::on_link_event(net::Link& link, bool up) {

@@ -8,9 +8,25 @@
 
 namespace f2t::routing {
 
+/// How the control plane learns that a link died.
+///
+///  - kOracle: the DetectionAgent below observes physical link transitions
+///    directly and reports them after a fixed delay — the model every
+///    paper-timing experiment uses. It cannot see gray failures (a link
+///    that silently drops packets never transitions) or react to
+///    unidirectional cuts with real protocol dynamics.
+///  - kProbe: per-port BFD sessions (routing/bfd.hpp) exchange real hello
+///    control packets through the data plane, so queues, per-direction
+///    loss rates and one-way cuts all apply. Detection can be wrong, slow
+///    and flappy — which is the point.
+enum class DetectionMode { kOracle, kProbe };
+
 /// Failure-detection timing. The 60 ms default is what the paper measured
 /// for interface-down detection on its testbed and calls comparable to BFD.
+/// `mode` selects the oracle agent (default — keeps every existing
+/// experiment byte-identical) or the probe-based BFD layer.
 struct DetectionConfig {
+  DetectionMode mode = DetectionMode::kOracle;
   sim::Time down_delay = sim::millis(60);
   sim::Time up_delay = sim::millis(60);
 };
@@ -35,8 +51,9 @@ class DetectionAgent {
 
   DetectionAgent(net::Network& network, const DetectionConfig& config = {});
 
-  /// Registers observers on every link currently in the network. Call
-  /// after topology construction.
+  /// Registers observers on every link currently in the network *and* a
+  /// network hook that observes links added later — a topology mutation
+  /// after attach_all() must not silently escape detection.
   void attach_all();
 
   const DetectionConfig& config() const { return config_; }

@@ -17,7 +17,7 @@ void Ospf::redistribute(const net::Prefix& prefix) {
 }
 
 void Ospf::attach() {
-  sw_.set_control_handler([this](net::PortId port, const net::Packet& packet) {
+  sw_.add_control_handler([this](net::PortId port, const net::Packet& packet) {
     handle_control(port, packet);
   });
   sw_.add_port_state_handler(

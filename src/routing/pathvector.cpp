@@ -32,7 +32,7 @@ void PathVector::redistribute(const net::Prefix& prefix) {
 }
 
 void PathVector::attach() {
-  sw_.set_control_handler([this](net::PortId port, const net::Packet& packet) {
+  sw_.add_control_handler([this](net::PortId port, const net::Packet& packet) {
     handle_control(port, packet);
   });
   sw_.add_port_state_handler(

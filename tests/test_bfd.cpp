@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+#include "routing/bfd.hpp"
+
+namespace f2t {
+namespace {
+
+using core::RunKnobs;
+using core::Testbed;
+using failure::Condition;
+using failure::FaultKind;
+using routing::BfdConfig;
+using routing::BfdManager;
+using routing::DetectionMode;
+
+// ---------------------------------------------------------- unit: sessions
+
+/// Two directly connected switches with one BFD session pair — the
+/// smallest network where hellos traverse a real link.
+struct Pair {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::L3Switch& a;
+  net::L3Switch& b;
+  net::Link& link;
+  BfdManager bfd;
+
+  explicit Pair(const BfdConfig& config = {})
+      : a(net.add_switch("a", net::Ipv4Addr(10, 12, 0, 1))),
+        b(net.add_switch("b", net::Ipv4Addr(10, 12, 1, 1))),
+        link(net.connect_default(a, b)),
+        bfd(net, config) {
+    bfd.attach_all();
+  }
+};
+
+TEST(Bfd, SessionsComeUpAndExchangeHellos) {
+  Pair p;
+  EXPECT_EQ(p.bfd.session_count(), 2u);
+  p.sim.run(sim::millis(200));
+  EXPECT_TRUE(p.bfd.session_up(p.a, 0));
+  EXPECT_TRUE(p.bfd.session_up(p.b, 0));
+  EXPECT_TRUE(p.a.port_detected_up(0));
+  // ~50 hellos per direction in 200 ms at the 20 ms default interval.
+  EXPECT_GE(p.bfd.counters().hellos_sent, 18u);
+  EXPECT_GE(p.bfd.counters().hellos_received, 16u);
+  EXPECT_EQ(p.bfd.counters().sessions_down, 0u);
+}
+
+TEST(Bfd, CleanCutDetectedWithinDetectTime) {
+  Pair p;
+  const sim::Time cut = sim::millis(200);
+  p.sim.at(cut, [&] { p.link.set_up(false); });
+
+  // Record when each end's detected state flips down.
+  sim::Time a_down = -1;
+  sim::Time b_down = -1;
+  p.a.add_port_state_handler([&](net::PortId, bool up) {
+    if (!up && a_down < 0) a_down = p.sim.now();
+  });
+  p.b.add_port_state_handler([&](net::PortId, bool up) {
+    if (!up && b_down < 0) b_down = p.sim.now();
+  });
+  p.sim.run(sim::seconds(1));
+
+  // Acceptance: a clean bidirectional cut is detected within
+  // tx_interval x multiplier (60 ms) plus one in-flight hello of slack.
+  const sim::Time bound = p.bfd.config().detect_time() + sim::millis(21);
+  ASSERT_GE(a_down, cut);
+  ASSERT_GE(b_down, cut);
+  EXPECT_LE(a_down - cut, bound);
+  EXPECT_LE(b_down - cut, bound);
+  EXPECT_FALSE(p.a.port_detected_up(0));
+  EXPECT_FALSE(p.b.port_detected_up(0));
+  EXPECT_GE(p.bfd.counters().hellos_missed, 2u);
+}
+
+TEST(Bfd, SessionRecoversAfterRepair) {
+  Pair p;
+  p.sim.at(sim::millis(200), [&] { p.link.set_up(false); });
+  p.sim.at(sim::millis(600), [&] { p.link.set_up(true); });
+  p.sim.run(sim::millis(900));
+  EXPECT_TRUE(p.bfd.session_up(p.a, 0));
+  EXPECT_TRUE(p.bfd.session_up(p.b, 0));
+  EXPECT_TRUE(p.a.port_detected_up(0));
+  EXPECT_TRUE(p.b.port_detected_up(0));
+  EXPECT_GE(p.bfd.counters().sessions_up, 2u);
+}
+
+TEST(Bfd, UnidirectionalCutTakesBothEndsDown) {
+  Pair p;
+  // Cut only a->b: b goes deaf; a still hears b's hellos, but those
+  // hellos now carry i_hear_you = false — the remote-state signal.
+  p.sim.at(sim::millis(200), [&] {
+    p.link.set_direction_up(p.link.direction_from(p.a), false);
+  });
+  p.sim.run(sim::seconds(1));
+  EXPECT_FALSE(p.bfd.session_up(p.a, 0));
+  EXPECT_FALSE(p.bfd.session_up(p.b, 0));
+  EXPECT_FALSE(p.a.port_detected_up(0));
+  EXPECT_FALSE(p.b.port_detected_up(0));
+  EXPECT_GE(p.bfd.counters().remote_down_signals, 1u);
+}
+
+TEST(Bfd, FullGrayLossDetectedWithoutAnyLinkTransition) {
+  Pair p;
+  p.sim.at(sim::millis(200), [&] {
+    p.link.set_loss_rate(p.link.direction_from(p.a), 1.0, &p.sim.random());
+  });
+  p.sim.run(sim::seconds(1));
+  EXPECT_TRUE(p.link.is_up()) << "gray failure must not transition the link";
+  EXPECT_FALSE(p.bfd.session_up(p.a, 0));
+  EXPECT_FALSE(p.bfd.session_up(p.b, 0));
+  EXPECT_FALSE(p.a.port_detected_up(0));
+  EXPECT_FALSE(p.b.port_detected_up(0));
+}
+
+TEST(Bfd, LateLinkGetsSessionsThroughNetworkHook) {
+  Pair p;
+  ASSERT_EQ(p.bfd.session_count(), 2u);
+  auto& c = p.net.add_switch("c", net::Ipv4Addr(10, 12, 2, 1));
+  net::Link& late = p.net.connect_default(p.b, c);
+  EXPECT_EQ(p.bfd.session_count(), 4u);
+  p.sim.run(sim::millis(200));
+  EXPECT_TRUE(p.bfd.session_up(c, 0));
+  p.sim.at(p.sim.now(), [&] { late.set_up(false); });
+  p.sim.run(p.sim.now() + sim::millis(200));
+  EXPECT_FALSE(p.bfd.session_up(c, 0));
+}
+
+TEST(Bfd, HostLinksCarryNoSession) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& a = net.add_switch("a", net::Ipv4Addr(10, 12, 0, 1));
+  net.add_host("h", net::Ipv4Addr(10, 11, 0, 10), &a);
+  BfdManager bfd(net);
+  bfd.attach_all();
+  EXPECT_EQ(bfd.session_count(), 0u);
+}
+
+// ------------------------------------------------------- unit: dampening
+
+TEST(BfdDampening, FlapTrainSuppressesThenReuses) {
+  BfdConfig config;
+  // Short half-life so the reuse arrives inside a unit test; the
+  // threshold is lowered to match (at 500 ms the penalty decays ~34%
+  // between 300 ms flaps, capping the series below the 2500 default).
+  config.dampening.half_life = sim::millis(500);
+  config.dampening.suppress_threshold = 2000;
+
+  Pair p(config);
+
+  // Three down transitions cross the 2000 suppress threshold at the
+  // default 1000/flap penalty.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const sim::Time at = sim::millis(200 + 300 * cycle);
+    p.sim.at(at, [&] { p.link.set_up(false); });
+    p.sim.at(at + sim::millis(150), [&] { p.link.set_up(true); });
+  }
+  p.sim.run(sim::millis(1700));
+  EXPECT_GE(p.bfd.counters().suppresses, 1u);
+  EXPECT_TRUE(p.bfd.session_suppressed(p.a, 0) ||
+              p.bfd.session_suppressed(p.b, 0));
+  // While suppressed the port is held detected-down although the session
+  // itself has recovered (the link is physically up again).
+  EXPECT_TRUE(p.link.is_up());
+  EXPECT_FALSE(p.a.port_detected_up(0) && p.b.port_detected_up(0));
+
+  // With a 500 ms half-life the penalty decays below the 800 reuse
+  // threshold in ~1 s of quiet; the reuse restores the live state.
+  p.sim.run(sim::seconds(4));
+  EXPECT_GE(p.bfd.counters().reuses, 1u);
+  EXPECT_FALSE(p.bfd.session_suppressed(p.a, 0));
+  EXPECT_FALSE(p.bfd.session_suppressed(p.b, 0));
+  EXPECT_TRUE(p.a.port_detected_up(0));
+  EXPECT_TRUE(p.b.port_detected_up(0));
+}
+
+TEST(BfdDampening, DisabledDampeningReportsEveryFlap) {
+  BfdConfig config;
+  config.dampening.enabled = false;
+  Pair p(config);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const sim::Time at = sim::millis(200 + 300 * cycle);
+    p.sim.at(at, [&] { p.link.set_up(false); });
+    p.sim.at(at + sim::millis(150), [&] { p.link.set_up(true); });
+  }
+  p.sim.run(sim::seconds(3));
+  EXPECT_EQ(p.bfd.counters().suppresses, 0u);
+  EXPECT_GE(p.bfd.counters().sessions_down, 6u);
+  EXPECT_TRUE(p.a.port_detected_up(0));
+  EXPECT_TRUE(p.b.port_detected_up(0));
+}
+
+TEST(BfdDampening, PenaltyDecaysExponentially) {
+  BfdConfig config;
+  config.dampening.half_life = sim::millis(400);
+  Pair p(config);
+  p.sim.at(sim::millis(200), [&] { p.link.set_up(false); });
+  p.sim.at(sim::millis(350), [&] { p.link.set_up(true); });
+  p.sim.run(sim::millis(400));
+  const double just_after = p.bfd.session_penalty(p.a, 0);
+  EXPECT_GT(just_after, 500.0);
+  p.sim.run(sim::millis(800));  // one half-life later
+  const double later = p.bfd.session_penalty(p.a, 0);
+  EXPECT_NEAR(later, just_after / 2, just_after * 0.15);
+}
+
+// -------------------------------------- regression: oracle late links
+
+TEST(DetectionAgent, ObservesLinksAddedAfterAttachAll) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  auto& a = net.add_switch("a", net::Ipv4Addr(10, 12, 0, 1));
+  auto& b = net.add_switch("b", net::Ipv4Addr(10, 12, 1, 1));
+  net.connect_default(a, b);
+  routing::DetectionAgent agent(net);
+  agent.attach_all();
+
+  // The link wired *after* attach_all used to escape detection entirely:
+  // no observer, so its failure never reached set_port_detected.
+  auto& c = net.add_switch("c", net::Ipv4Addr(10, 12, 2, 1));
+  net::Link& late = net.connect_default(b, c);
+  sim.at(sim::millis(10), [&] { late.set_up(false); });
+  sim.run(sim::millis(200));
+  EXPECT_FALSE(c.port_detected_up(0));
+  EXPECT_GE(agent.counters().detections_fired, 2u);
+}
+
+// --------------------------------------------- system: probe-mode recovery
+
+RunKnobs probe_knobs() {
+  RunKnobs knobs;
+  knobs.config.detection.mode = DetectionMode::kProbe;
+  return knobs;
+}
+
+TEST(BfdSystem, ProbeModeRecoversC1WithinPaperBudget) {
+  const auto builder = core::topology_builder("f2", 4);
+  const auto run = core::run_udp_condition(builder, Condition::kC1,
+                                           probe_knobs());
+  ASSERT_TRUE(run.ok);
+  // Probe detection floor is 60 ms (20 ms x 3) like the oracle; the
+  // F²Tree backup route then takes over, so loss stays in the paper's
+  // sub-150 ms band rather than the fat-tree sub-second one.
+  EXPECT_GT(run.connectivity_loss, sim::millis(40));
+  EXPECT_LT(run.connectivity_loss, sim::millis(150));
+  EXPECT_GT(run.packets_sent, 0u);
+}
+
+TEST(BfdSystem, GrayFailureBlackholesUnderOracleButRecoversUnderProbe) {
+  const auto builder = core::topology_builder("f2", 4);
+  RunKnobs gray;
+  gray.fault.kind = FaultKind::kGray;
+  gray.fault.gray_loss = 1.0;
+
+  // Oracle detection never sees a transition: the stream dies at
+  // fail_at and stays dead, so no recovery gap is even measurable.
+  const auto oracle = core::run_udp_condition(builder, Condition::kC1, gray);
+  ASSERT_TRUE(oracle.ok);
+  EXPECT_EQ(oracle.connectivity_loss, 0);
+  EXPECT_GT(oracle.packets_lost, 1000u);
+
+  RunKnobs probe = probe_knobs();
+  probe.fault = gray.fault;
+  const auto probed = core::run_udp_condition(builder, Condition::kC1, probe);
+  ASSERT_TRUE(probed.ok);
+  EXPECT_GT(probed.connectivity_loss, 0);
+  EXPECT_LT(probed.connectivity_loss, sim::millis(200));
+  EXPECT_LT(probed.packets_lost, oracle.packets_lost / 4);
+}
+
+TEST(BfdSystem, UnidirectionalCutRecoversUnderProbe) {
+  const auto builder = core::topology_builder("f2", 4);
+  RunKnobs probe = probe_knobs();
+  probe.fault.kind = FaultKind::kUnidirectional;
+  const auto run = core::run_udp_condition(builder, Condition::kC1, probe);
+  ASSERT_TRUE(run.ok);
+  // The downward direction is cut; remote-state signalling takes both
+  // session ends down and traffic reroutes onto the backup.
+  EXPECT_GT(run.connectivity_loss, sim::millis(40));
+  EXPECT_LT(run.connectivity_loss, sim::millis(200));
+}
+
+/// Builds a testbed + C1 plan, applies a flap train, runs, and returns
+/// the aggregate OSPF counters (plus the bed for BFD introspection).
+routing::Ospf::Counters run_flap_train(const core::TestbedConfig& config,
+                                       std::uint64_t* suppresses = nullptr) {
+  Testbed bed(core::topology_builder("f2", 4), config);
+  bed.converge();
+  const auto plan = failure::build_condition(bed.topo(), Condition::kC1);
+  EXPECT_TRUE(plan.has_value());
+  failure::FaultSpec fault;
+  fault.kind = FaultKind::kFlap;
+  fault.flap_period = sim::millis(300);
+  fault.flap_cycles = 6;
+  failure::apply_fault(bed.topo(), bed.injector(), *plan, fault,
+                       sim::millis(380));
+  bed.sim().run(sim::seconds(3));
+  if (suppresses != nullptr) {
+    *suppresses = config.detection.mode == DetectionMode::kProbe
+                      ? bed.bfd().counters().suppresses
+                      : 0;
+  }
+  return bed.total_ospf_counters();
+}
+
+TEST(BfdSystem, FlapDampeningBoundsControlPlaneChurn) {
+  // Oracle baseline: every 300 ms flap cycle outlives the 60 ms window,
+  // so each transition reaches the control plane and churns LSAs. A
+  // short SPF hold keeps the throttle from coalescing the oracle's
+  // extra triggers into the same run count dampening produces — the
+  // comparison must isolate the dampener, not the throttle.
+  core::TestbedConfig oracle;
+  oracle.ospf.throttle.initial_delay = sim::millis(50);
+  const auto churned = run_flap_train(oracle);
+
+  core::TestbedConfig probe;
+  probe.ospf.throttle.initial_delay = sim::millis(50);
+  probe.detection.mode = DetectionMode::kProbe;
+  std::uint64_t suppresses = 0;
+  const auto damped = run_flap_train(probe, &suppresses);
+
+  EXPECT_GE(suppresses, 1u) << "the flap train must trip dampening";
+  // The 6-cycle train costs the oracle an origination per reported
+  // transition at both ends; dampening caps probe mode well below that.
+  EXPECT_GT(churned.lsas_originated, damped.lsas_originated);
+  EXPECT_GT(churned.spf_runs, damped.spf_runs);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -119,6 +119,74 @@ TEST(CampaignSpec, RejectsUnknownKeysAndBadValues) {
                std::invalid_argument);
 }
 
+TEST(CampaignSpec, DefaultDetectionAndFaultKnobsAreOmittedFromEcho) {
+  // Byte-identity guarantee: a spec that never mentions the probe/fault
+  // knobs must echo exactly as it did before those knobs existed.
+  const auto spec = core::CampaignSpec::parse(kSpecText);
+  std::ostringstream os;
+  spec.write_json(os);
+  const std::string echoed = os.str();
+  for (const char* key : {"\"detection\"", "\"bfd_tx_ms\"", "\"bfd_multiplier\"",
+                          "\"dampening\"", "\"fault\"", "\"gray_loss\"",
+                          "\"flap_period_ms\"", "\"flap_cycles\""}) {
+    EXPECT_EQ(echoed.find(key), std::string::npos)
+        << key << " must not appear for a default spec";
+  }
+}
+
+TEST(CampaignSpec, ParsesDetectionAndFaultKnobs) {
+  const auto spec = core::CampaignSpec::parse(R"({
+    "topologies": [{"name": "f2", "ports": 4}],
+    "conditions": ["C1"],
+    "detection": "probe",
+    "bfd_tx_ms": 10,
+    "bfd_multiplier": 4,
+    "dampening": false,
+    "fault": "gray",
+    "gray_loss": 0.5,
+    "flap_period_ms": 200,
+    "flap_cycles": 7
+  })");
+  EXPECT_EQ(spec.detection, "probe");
+  EXPECT_EQ(spec.bfd_tx_ms, 10);
+  EXPECT_EQ(spec.bfd_multiplier, 4);
+  EXPECT_FALSE(spec.dampening);
+  EXPECT_EQ(spec.fault, failure::FaultKind::kGray);
+  EXPECT_DOUBLE_EQ(spec.gray_loss, 0.5);
+  EXPECT_EQ(spec.flap_period_ms, 200);
+  EXPECT_EQ(spec.flap_cycles, 7);
+
+  // Non-default knobs survive a canonical echo round trip.
+  std::ostringstream os;
+  spec.write_json(os);
+  const auto again = core::CampaignSpec::parse(os.str());
+  EXPECT_EQ(again.detection, "probe");
+  EXPECT_EQ(again.fault, failure::FaultKind::kGray);
+  EXPECT_DOUBLE_EQ(again.gray_loss, 0.5);
+  std::ostringstream os2;
+  again.write_json(os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(CampaignSpec, RejectsBadDetectionAndFaultValues) {
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C1"], "detection": "psychic"})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C1"], "fault": "meteor"})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C1"], "gray_loss": 1.5})"),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C1"], "bfd_multiplier": 0})"),
+               std::invalid_argument);
+}
+
 TEST(CampaignSpec, EnumerateShardsIsDeterministic) {
   const auto spec = core::CampaignSpec::parse(kSpecText);
   const auto shards = core::enumerate_shards(spec);
@@ -217,6 +285,52 @@ TEST(CampaignRun, AggregatesCoverEveryRunAndClass) {
   std::uint64_t hist = 0;
   for (const auto b : aggregates[0].gap_loss_hist) hist += b;
   EXPECT_EQ(hist, static_cast<std::uint64_t>(aggregates[0].affected));
+}
+
+TEST(CampaignRun, ThrowingShardBecomesDeterministicErrorRecord) {
+  // "nope" passes spec parsing (topology names are resolved at run time)
+  // but makes every shard's topology_builder throw. The campaign must
+  // still complete, with the exception captured as a per-shard error
+  // record — byte-identical for any job count.
+  const auto spec = core::CampaignSpec::parse(R"({
+    "name": "broken",
+    "topologies": [{"name": "nope", "ports": 4}],
+    "conditions": ["C1", "C2"],
+    "seeds": 2,
+    "horizon_ms": 500
+  })");
+  exec::CampaignOptions serial;
+  serial.jobs = 1;
+  exec::CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto r1 = exec::run_campaign(spec, serial);
+  const auto r4 = exec::run_campaign(spec, parallel);
+  ASSERT_EQ(r1.runs.size(), 4u);
+  for (const auto& run : r1.runs) {
+    EXPECT_FALSE(run.ok);
+    EXPECT_EQ(run.error, "unknown topology: nope");
+  }
+  std::ostringstream a;
+  std::ostringstream b;
+  r1.write_json(a, /*include_profile=*/false);
+  r4.write_json(b, /*include_profile=*/false);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"error\": \"unknown topology: nope\""),
+            std::string::npos);
+
+  const auto aggregates = core::aggregate_runs(r1.runs);
+  ASSERT_FALSE(aggregates.empty());
+  EXPECT_EQ(aggregates[0].failed, 4);
+}
+
+TEST(CampaignRun, SuccessfulRunRecordsCarryNoErrorField) {
+  const auto spec = tiny_spec();
+  exec::CampaignOptions options;
+  options.jobs = 2;
+  const auto result = exec::run_campaign(spec, options);
+  std::ostringstream os;
+  result.write_json(os, /*include_profile=*/false);
+  EXPECT_EQ(os.str().find("\"error\""), std::string::npos);
 }
 
 }  // namespace

@@ -39,6 +39,10 @@ int usage() {
       "           [--control ospf|central|bgp] [--proto udp|tcp]\n"
       "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
       "           [--aspen-f 1] [--seed 1] [--csv]\n"
+      "           [--detection oracle|probe] [--bfd-tx-ms 20]\n"
+      "           [--bfd-multiplier 3] [--no-dampening]\n"
+      "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
+      "           [--flap-period-ms 300] [--flap-cycles 5]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
@@ -48,7 +52,10 @@ int usage() {
       "           [--control ospf|central|bgp] [--conditions C1,..|all]\n"
       "           [--link-sites N|all] [--seeds N] [--base-seed N]\n"
       "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
-      "           [--aspen-f 1]\n"
+      "           [--aspen-f 1] [--detection oracle|probe] [--bfd-tx-ms 20]\n"
+      "           [--bfd-multiplier 3] [--no-dampening]\n"
+      "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
+      "           [--flap-period-ms 300] [--flap-cycles 5]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
       "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
@@ -86,6 +93,32 @@ sim::LogLevel parse_log_level_option(core::Cli& cli) {
   const auto level = sim::Logger::parse_level(text);
   if (!level) throw std::invalid_argument("unknown log level: " + text);
   return *level;
+}
+
+/// Applies the shared --detection / --bfd-* / --fault family of flags
+/// (recover and ad hoc campaign accept the same set).
+void apply_detection_flags(core::Cli& cli, core::RunKnobs& knobs) {
+  const std::string detection = cli.get("detection", "oracle");
+  if (detection == "probe") {
+    knobs.config.detection.mode = routing::DetectionMode::kProbe;
+  } else if (detection != "oracle") {
+    throw std::invalid_argument("unknown detection: " + detection +
+                                " (oracle|probe)");
+  }
+  knobs.config.bfd.tx_interval = sim::millis(cli.get_int("bfd-tx-ms", 20));
+  knobs.config.bfd.miss_multiplier = cli.get_int("bfd-multiplier", 3);
+  knobs.config.bfd.dampening.enabled = !cli.get_flag("no-dampening");
+
+  const std::string fault = cli.get("fault", "cut");
+  const auto kind = failure::parse_fault_kind(fault);
+  if (!kind) {
+    throw std::invalid_argument("unknown fault: " + fault +
+                                " (cut|unidir|gray|flap)");
+  }
+  knobs.fault.kind = *kind;
+  knobs.fault.gray_loss = cli.get_double("gray-loss", 1.0);
+  knobs.fault.flap_period = sim::millis(cli.get_int("flap-period-ms", 300));
+  knobs.fault.flap_cycles = cli.get_int("flap-cycles", 5);
 }
 
 /// Writes the observability artefacts of one observed run: metrics JSON,
@@ -141,6 +174,7 @@ int cmd_recover(core::Cli& cli) {
   knobs.config.ospf.throttle.initial_delay =
       sim::millis(cli.get_int("spf-ms", 200));
   knobs.config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  apply_detection_flags(cli, knobs);
   knobs.config.log_level = parse_log_level_option(cli);
   knobs.config.observe =
       timeline || !metrics_out.empty() || !events_out.empty();
@@ -275,6 +309,24 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   spec.base_seed = static_cast<std::uint64_t>(cli.get_int("base-seed", 1));
   spec.detection_ms = cli.get_int("detection-ms", 60);
   spec.spf_ms = cli.get_int("spf-ms", 200);
+  spec.detection = cli.get("detection", "oracle");
+  if (spec.detection != "oracle" && spec.detection != "probe") {
+    throw std::invalid_argument("unknown detection: " + spec.detection +
+                                " (oracle|probe)");
+  }
+  spec.bfd_tx_ms = cli.get_int("bfd-tx-ms", 20);
+  spec.bfd_multiplier = cli.get_int("bfd-multiplier", 3);
+  spec.dampening = !cli.get_flag("no-dampening");
+  const std::string fault = cli.get("fault", "cut");
+  const auto kind = failure::parse_fault_kind(fault);
+  if (!kind) {
+    throw std::invalid_argument("unknown fault: " + fault +
+                                " (cut|unidir|gray|flap)");
+  }
+  spec.fault = *kind;
+  spec.gray_loss = cli.get_double("gray-loss", 1.0);
+  spec.flap_period_ms = cli.get_int("flap-period-ms", 300);
+  spec.flap_cycles = cli.get_int("flap-cycles", 5);
   if (spec.conditions.empty() && spec.link_sites == 0) {
     // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
     using failure::Condition;
