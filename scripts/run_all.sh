@@ -193,11 +193,19 @@ done
 
 echo "== release bench smoke =="
 if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.txt" 2>&1 \
-    && cmake --build "$RBUILD" -j --target bench_micro >"$OUT/release_build.txt" 2>&1; then
+    && cmake --build "$RBUILD" -j --target bench_micro bench_spf >"$OUT/release_build.txt" 2>&1; then
   mkdir -p "$OUT/release"
   if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_micro" \
         --benchmark_min_time=0.05) >"$OUT/release/bench_micro.txt" 2>&1; then
     echo "release bench_micro FAILED (see $OUT/release/bench_micro.txt)"
+    fail=1
+  fi
+  # The control-plane fast path: bench_spf exits nonzero if the
+  # incremental solver diverges from compute_spf or falls back to full
+  # runs on the single-link-failure scenario.
+  if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_spf") \
+      >"$OUT/release/bench_spf.txt" 2>&1; then
+    echo "release bench_spf FAILED (see $OUT/release/bench_spf.txt)"
     fail=1
   fi
 else
@@ -213,11 +221,12 @@ import glob, json, os, sys
 
 out = sys.argv[1]
 paths = sorted(glob.glob(os.path.join(out, "**", "BENCH_*.json"), recursive=True))
-required = os.path.join(out, "release", "BENCH_micro.json")
 ok = True
-if required not in paths:
-    print(f"MISSING {required}: release bench_micro smoke produced no JSON")
-    ok = False
+for bench in ("micro", "spf"):
+    required = os.path.join(out, "release", f"BENCH_{bench}.json")
+    if required not in paths:
+        print(f"MISSING {required}: release bench_{bench} smoke produced no JSON")
+        ok = False
 for path in paths:
     try:
         with open(path) as f:
@@ -240,6 +249,57 @@ for path in paths:
 sys.exit(0 if ok else 1)
 EOF
 [ $? -eq 0 ] || fail=1
+
+echo "== bench regression guard (non-fatal) =="
+# Compares the Release-run BENCH_*.json under results/release/ against the
+# committed baselines in bench/baselines/. Direction-aware: "real_time"
+# regresses upward, "speedup" regresses downward. Absolute nanoseconds are
+# machine-dependent, so the tolerance is generous and a regression only
+# prints a warning table — it never fails the run.
+python3 - "$OUT/release" bench/baselines <<'EOF'
+import glob, json, os, sys
+
+out_dir, base_dir = sys.argv[1], sys.argv[2]
+TOLERANCE = 0.30  # 30% drift allowed before warning
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+warnings = []
+compared = 0
+for base_path in sorted(glob.glob(os.path.join(base_dir, "BENCH_*.json"))):
+    name = os.path.basename(base_path)
+    out_path = os.path.join(out_dir, name)
+    if not os.path.exists(out_path):
+        continue
+    try:
+        base, cur = load(base_path), load(out_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"SKIP    {name}: {e}")
+        continue
+    for key, b in base.items():
+        c = cur.get(key)
+        if c is None or not b["value"] or b["metric"] not in ("real_time", "speedup"):
+            continue
+        compared += 1
+        ratio = c["value"] / b["value"]
+        if b["metric"] == "real_time" and ratio > 1 + TOLERANCE:
+            warnings.append((name, key, b["value"], c["value"],
+                             f"{(ratio - 1) * 100:+.0f}% slower"))
+        elif b["metric"] == "speedup" and ratio < 1 - TOLERANCE:
+            warnings.append((name, key, b["value"], c["value"],
+                             f"{(1 - ratio) * 100:.0f}% less speedup"))
+if warnings:
+    print(f"WARNING {len(warnings)} of {compared} tracked metrics regressed "
+          f"beyond {TOLERANCE:.0%} (numbers are machine-dependent):")
+    print(f"  {'file':<24} {'metric':<40} {'baseline':>12} {'current':>12}  drift")
+    for name, key, b, c, drift in warnings:
+        print(f"  {name:<24} {key:<40} {b:>12.1f} {c:>12.1f}  {drift}")
+else:
+    print(f"OK      {compared} tracked metrics within {TOLERANCE:.0%} of baselines")
+EOF
 
 if [ "$fail" -ne 0 ]; then
   echo "run_all: FAILED (tests, release smoke, or bench json validation)"

@@ -130,9 +130,19 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
             return c.spf_runs;
           }));
       obs_->metrics.register_probe(
+          "ospf.spf_incremental_runs",
+          ospf_probe([](const routing::Ospf::Counters& c) {
+            return c.spf_incremental_runs;
+          }));
+      obs_->metrics.register_probe(
           "ospf.fib_installs",
           ospf_probe([](const routing::Ospf::Counters& c) {
             return c.fib_installs;
+          }));
+      obs_->metrics.register_probe(
+          "ospf.fib_noop_installs",
+          ospf_probe([](const routing::Ospf::Counters& c) {
+            return c.fib_noop_installs;
           }));
     }
     if (controller_ != nullptr) {
@@ -246,7 +256,9 @@ routing::Ospf::Counters Testbed::total_ospf_counters() const {
     total.lsas_accepted += c.lsas_accepted;
     total.lsas_ignored += c.lsas_ignored;
     total.spf_runs += c.spf_runs;
+    total.spf_incremental_runs += c.spf_incremental_runs;
     total.fib_installs += c.fib_installs;
+    total.fib_noop_installs += c.fib_noop_installs;
   }
   return total;
 }

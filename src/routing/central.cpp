@@ -60,7 +60,7 @@ void CentralController::converge() {
       return std::find(m.prefixes.begin(), m.prefixes.end(), r.prefix) !=
              m.prefixes.end();
     });
-    m.sw->fib().replace_source(RouteSource::kOspf, std::move(routes));
+    m.sw->fib().apply_source_delta(RouteSource::kOspf, std::move(routes));
   }
   ++counters_.computations;
 }
@@ -93,11 +93,15 @@ void CentralController::recompute_and_push() {
              m.prefixes.end();
     });
     net::L3Switch* sw = m.sw;
+    // The push (and its hook) still happens even when the delta turns out
+    // empty — the controller does not know that before the switch applies
+    // it — so fib_pushes and the simulated event stream are unchanged;
+    // only the redundant FIB writes disappear.
     ++counters_.fib_pushes;
     sim_->after(config_.push_delay + config_.fib_update_delay,
                 [this, sw, routes = std::move(routes)]() mutable {
-                  sw->fib().replace_source(RouteSource::kOspf,
-                                           std::move(routes));
+                  sw->fib().apply_source_delta(RouteSource::kOspf,
+                                               std::move(routes));
                   if (push_hook_) push_hook_(*sw);
                 });
   }

@@ -92,6 +92,54 @@ void Fib::replace_source(RouteSource source, std::vector<Route> routes) {
   }
 }
 
+std::size_t Fib::apply_source_delta(RouteSource source,
+                                    std::vector<Route> routes) {
+  std::size_t touched = 0;
+  std::vector<net::Prefix> kept;
+  kept.reserve(routes.size());
+  for (Route& r : routes) {
+    if (r.next_hops.empty()) {
+      throw std::invalid_argument(
+          "Fib::apply_source_delta: route without next hops: " +
+          r.prefix.str());
+    }
+    r.source = source;
+    // Canonical order up front so the equality check is meaningful
+    // (install() would sort anyway).
+    std::sort(r.next_hops.begin(), r.next_hops.end());
+    kept.push_back(r.prefix);
+    const auto length = static_cast<std::size_t>(r.prefix.length());
+    auto& bucket = by_length_[length];
+    if (const auto it = bucket.find(r.prefix.address().value());
+        it != bucket.end()) {
+      if (const Route* existing = it->second.find(source);
+          existing != nullptr && *existing == r) {
+        continue;  // identical entry already installed: zero writes
+      }
+    }
+    install(std::move(r));
+    ++touched;
+  }
+  // Removal pass: entries of `source` whose prefix the new set dropped.
+  std::sort(kept.begin(), kept.end());
+  std::vector<net::Prefix> stale;
+  for (const auto& bucket : by_length_) {
+    for (const auto& [key, slot] : bucket) {
+      for (const Route& r : slot.by_source) {
+        if (r.source != source) continue;
+        if (!std::binary_search(kept.begin(), kept.end(), r.prefix)) {
+          stale.push_back(r.prefix);
+        }
+      }
+    }
+  }
+  for (const net::Prefix& prefix : stale) {
+    remove(prefix, source);
+    ++touched;
+  }
+  return touched;
+}
+
 template <typename PortPred, typename OutVec>
 void Fib::lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out,
                       RouteSource* source_out) const {

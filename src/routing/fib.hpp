@@ -65,6 +65,16 @@ class Fib {
   /// Atomically replaces all routes of `source` with `routes`.
   void replace_source(RouteSource source, std::vector<Route> routes);
 
+  /// Diffs `routes` — the complete desired set for `source` — against the
+  /// installed entries and touches only the changed slots: unchanged
+  /// entries are left alone, changed/new ones installed, and entries of
+  /// `source` absent from `routes` removed. Returns the number of slots
+  /// written (installs + removals). The final FIB state is identical to
+  /// `replace_source(source, routes)`, but an empty delta performs no
+  /// write and does not move `generation()` — which is what keeps
+  /// `ResolvedRouteCache` entries warm across no-op SPF reinstalls.
+  std::size_t apply_source_delta(RouteSource source, std::vector<Route> routes);
+
   /// Longest-prefix match over *usable* entries: returns the usable next
   /// hops of the longest prefix containing `dst` whose best-source entry
   /// has at least one next hop with port_up(port). Falls through to

@@ -7,9 +7,14 @@ namespace f2t::routing {
 bool Lsdb::consider(LsaPtr lsa) {
   if (!lsa) throw std::invalid_argument("Lsdb::consider: null LSA");
   auto [it, inserted] = by_origin_.try_emplace(lsa->origin, lsa);
-  if (inserted) return true;
+  if (inserted) {
+    graph_.apply(it->second, nullptr);
+    return true;
+  }
   if (lsa->sequence > it->second->sequence) {
+    const LsaPtr previous = std::move(it->second);
     it->second = std::move(lsa);
+    graph_.apply(it->second, previous.get());
     return true;
   }
   return false;

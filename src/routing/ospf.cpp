@@ -59,18 +59,32 @@ void Ospf::warm_start(const std::vector<LsaPtr>& all_lsas) {
   throttle_.ran(sw_.simulator().now());
 }
 
-void Ospf::run_spf_now() {
-  ++counters_.spf_runs;
-  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
-  auto routes = compute_spf(lsdb_, sw_.router_id(), live_adjacency());
+std::vector<Route> Ospf::compute_routes() {
+  auto routes = solver_.run(lsdb_, sw_.router_id(), live_adjacency());
+  if (solver_.last_run_incremental()) ++counters_.spf_incremental_runs;
   // Do not learn a route to a prefix we redistribute ourselves.
   std::erase_if(routes, [this](const Route& r) {
     return std::find(redistributed_.begin(), redistributed_.end(), r.prefix) !=
            redistributed_.end();
   });
-  sw_.fib().replace_source(RouteSource::kOspf, std::move(routes));
-  ++counters_.fib_installs;
-  if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
+  return routes;
+}
+
+void Ospf::install_routes(std::vector<Route> routes) {
+  const std::size_t touched =
+      sw_.fib().apply_source_delta(RouteSource::kOspf, std::move(routes));
+  if (touched > 0) {
+    ++counters_.fib_installs;
+    if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
+  } else {
+    ++counters_.fib_noop_installs;
+  }
+}
+
+void Ospf::run_spf_now() {
+  ++counters_.spf_runs;
+  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
+  install_routes(compute_routes());
 }
 
 std::vector<LocalAdjacency> Ospf::live_adjacency() const {
@@ -145,14 +159,13 @@ void Ospf::run_spf_and_schedule_install() {
   throttle_.ran(sim.now());
   ++counters_.spf_runs;
   if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
-  auto routes = compute_spf(lsdb_, sw_.router_id(), live_adjacency());
-  std::erase_if(routes, [this](const Route& r) {
-    return std::find(redistributed_.begin(), redistributed_.end(), r.prefix) !=
-           redistributed_.end();
-  });
+  auto routes = compute_routes();
   // Model the SPF computation cost (grows with the LSDB) plus the
   // RIB->FIB download delay: the data plane keeps using the old entries
-  // (and the static backups) until the install completes.
+  // (and the static backups) until the install completes. The install
+  // event is scheduled even when the route set turns out unchanged — the
+  // delta apply inside the callback then performs zero FIB writes — so
+  // the simulated event stream is identical either way.
   const sim::Time compute =
       config_.spf_compute_per_router * static_cast<sim::Time>(lsdb_.size());
   if (pending_install_ != sim::kInvalidEventId) sim.cancel(pending_install_);
@@ -160,9 +173,7 @@ void Ospf::run_spf_and_schedule_install() {
       compute + config_.fib_update_delay,
       [this, routes = std::move(routes)]() mutable {
         pending_install_ = sim::kInvalidEventId;
-        sw_.fib().replace_source(RouteSource::kOspf, std::move(routes));
-        ++counters_.fib_installs;
-        if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
+        install_routes(std::move(routes));
         F2T_LOG(sw_.simulator().logger(), sim::LogLevel::kDebug,
                 sw_.simulator().now(), sw_.name() << " installed OSPF routes");
       });

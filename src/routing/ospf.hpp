@@ -46,7 +46,14 @@ class Ospf {
     std::uint64_t lsas_accepted = 0;
     std::uint64_t lsas_ignored = 0;
     std::uint64_t spf_runs = 0;
+    /// Subset of spf_runs served by the incremental subtree repair
+    /// instead of a full Dijkstra (see SpfSolver).
+    std::uint64_t spf_incremental_runs = 0;
+    /// FIB installs that actually changed at least one entry. Recomputes
+    /// yielding an identical route set leave the FIB (and its generation)
+    /// untouched and count as fib_noop_installs instead.
     std::uint64_t fib_installs = 0;
+    std::uint64_t fib_noop_installs = 0;
   };
 
   /// Protocol milestones surfaced to the observability layer. Fired at the
@@ -99,9 +106,16 @@ class Ospf {
   void run_spf_and_schedule_install();
   std::vector<LocalAdjacency> live_adjacency() const;
 
+  /// Runs the solver and drops redistributed prefixes from the result.
+  std::vector<Route> compute_routes();
+  /// Applies a computed route set to the FIB as a delta and maintains the
+  /// install counters/observability events. Shared tail of every install.
+  void install_routes(std::vector<Route> routes);
+
   net::L3Switch& sw_;
   OspfConfig config_;
   Lsdb lsdb_;
+  SpfSolver solver_;
   SpfThrottle throttle_;
   std::vector<net::Prefix> redistributed_;
   std::uint64_t self_sequence_ = 0;

@@ -104,9 +104,14 @@ void PathVector::schedule_fib_install() {
   pending_install_ =
       sw_.simulator().after(config_.fib_update_delay, [this] {
         pending_install_ = sim::kInvalidEventId;
-        sw_.fib().replace_source(RouteSource::kOspf, build_routes());
-        ++counters_.fib_installs;
-        if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
+        const std::size_t touched = sw_.fib().apply_source_delta(
+            RouteSource::kOspf, build_routes());
+        if (touched > 0) {
+          ++counters_.fib_installs;
+          if (obs_hook_) obs_hook_(ObsEvent::kFibInstall);
+        } else {
+          ++counters_.fib_noop_installs;
+        }
       });
 }
 
@@ -276,9 +281,13 @@ void PathVector::warm_start_all(
     }
   }
   for (const auto& instance : instances) {
-    instance->sw_.fib().replace_source(RouteSource::kOspf,
-                                       instance->build_routes());
-    ++instance->counters_.fib_installs;
+    const std::size_t touched = instance->sw_.fib().apply_source_delta(
+        RouteSource::kOspf, instance->build_routes());
+    if (touched > 0) {
+      ++instance->counters_.fib_installs;
+    } else {
+      ++instance->counters_.fib_noop_installs;
+    }
   }
 }
 

@@ -60,7 +60,10 @@ class PathVector {
     std::uint64_t updates_sent = 0;
     std::uint64_t updates_received = 0;
     std::uint64_t routes_withdrawn = 0;
+    /// Installs that changed at least one FIB entry; recomputes yielding
+    /// the identical route set count as fib_noop_installs instead.
     std::uint64_t fib_installs = 0;
+    std::uint64_t fib_noop_installs = 0;
   };
 
   /// Protocol milestones surfaced to the observability layer.

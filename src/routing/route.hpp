@@ -35,6 +35,11 @@ struct Route {
   RouteSource source = RouteSource::kOspf;
 
   std::string describe() const;
+
+  /// Memberwise equality; `Fib::apply_source_delta` uses it to skip
+  /// rewriting unchanged entries (next_hops must be in canonical sorted
+  /// order on both sides for the comparison to be meaningful).
+  friend bool operator==(const Route&, const Route&) = default;
 };
 
 }  // namespace f2t::routing

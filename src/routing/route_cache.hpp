@@ -26,6 +26,12 @@ namespace f2t::routing {
 /// keep steering packets into the dead /24 until the control plane
 /// eventually rewrote the FIB, erasing exactly the effect the paper
 /// measures.
+///
+/// The control plane cooperates from the other side: SPF results are
+/// installed through `Fib::apply_source_delta`, so a recompute that does
+/// not change the route set performs no FIB write, leaves the generation
+/// alone, and keeps every entry here warm — periodic no-op reinstalls no
+/// longer flush the cache.
 class ResolvedRouteCache {
  public:
   /// Resolved usable next hops for `dst` under the current combined

@@ -1,9 +1,6 @@
 #include "routing/spf.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
-#include <unordered_set>
 
 #include "routing/smallvec.hpp"
 
@@ -11,13 +8,7 @@ namespace f2t::routing {
 
 namespace {
 
-// First hops are tracked as indices into the sorted list of the computing
-// router's neighbours, kept sorted and unique in a small inline vector:
-// ECMP fan-outs are at most the port count, and typical fat-tree groups
-// (≤ k/2) fit inline, so relaxations during Dijkstra never hit the heap —
-// unlike the former std::set<Ipv4Addr>, which allocated a red-black node
-// per (destination, first-hop) pair.
-using FirstHopSet = SmallVec<std::uint16_t, 8>;
+using FirstHopSet = SpfArrays::FirstHopSet;
 
 void insert_first_hop(FirstHopSet& set, std::uint16_t index) {
   const auto it = std::lower_bound(set.begin(), set.end(), index);
@@ -27,105 +18,121 @@ void insert_first_hop(FirstHopSet& set, std::uint16_t index) {
   std::rotate(set.begin() + pos, set.end() - 1, set.end());
 }
 
-void union_first_hops(FirstHopSet& into, const FirstHopSet& from) {
+/// Returns true when `into` gained at least one element.
+bool union_first_hops(FirstHopSet& into, const FirstHopSet& from) {
+  const std::size_t before = into.size();
   for (const std::uint16_t index : from) insert_first_hop(into, index);
+  return into.size() != before;
 }
 
-struct NodeState {
-  int dist = std::numeric_limits<int>::max();
-  // First-hop neighbors (as indices into the sorted self-neighbour list)
-  // across all equal-cost shortest paths.
-  FirstHopSet first_hops;
+/// The computing router's own attachment points, pre-sorted: neighbor
+/// addresses ascending with the local ports reaching each one. First-hop
+/// sets store indices into `neighbors`, so emission order matches the
+/// former std::set<Ipv4Addr> iteration exactly.
+struct SelfView {
+  std::vector<net::Ipv4Addr> neighbors;
+  std::vector<SmallVec<net::PortId, 4>> ports;  // parallel to neighbors
+
+  int index_of(net::Ipv4Addr addr) const {
+    const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), addr);
+    if (it == neighbors.end() || *it != addr) return -1;
+    return static_cast<int>(it - neighbors.begin());
+  }
 };
 
-bool two_way(const Lsdb& lsdb, net::Ipv4Addr u, net::Ipv4Addr v) {
-  const Lsa* lv = lsdb.find(v);
-  if (lv == nullptr) return false;
-  return std::any_of(lv->links.begin(), lv->links.end(),
-                     [&](const LsaLink& l) { return l.neighbor == u; });
+SelfView build_self_view(const std::vector<LocalAdjacency>& adjacency) {
+  SelfView view;
+  view.neighbors.reserve(adjacency.size());
+  for (const LocalAdjacency& adj : adjacency) {
+    view.neighbors.push_back(adj.neighbor);
+  }
+  std::sort(view.neighbors.begin(), view.neighbors.end());
+  view.neighbors.erase(
+      std::unique(view.neighbors.begin(), view.neighbors.end()),
+      view.neighbors.end());
+  view.ports.resize(view.neighbors.size());
+  // Parallel links to the same neighbor keep their adjacency (port-id)
+  // order, matching the former ports_of map construction.
+  for (const LocalAdjacency& adj : adjacency) {
+    view.ports[static_cast<std::size_t>(view.index_of(adj.neighbor))]
+        .push_back(adj.port);
+  }
+  return view;
 }
 
-}  // namespace
+void heap_push(SpfArrays& a, int dist, std::uint32_t addr, RouterIndex node) {
+  a.heap.push_back(SpfArrays::HeapItem{dist, addr, node});
+  std::push_heap(a.heap.begin(), a.heap.end());
+}
 
-std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
-                               const std::vector<LocalAdjacency>& adjacency) {
-  // Ports per first-hop neighbor: parallel links become parallel next hops.
-  std::unordered_map<net::Ipv4Addr, std::vector<net::PortId>> ports_of;
-  for (const LocalAdjacency& adj : adjacency) {
-    ports_of[adj.neighbor].push_back(adj.port);
-  }
+SpfArrays::HeapItem heap_pop(SpfArrays& a) {
+  std::pop_heap(a.heap.begin(), a.heap.end());
+  const SpfArrays::HeapItem item = a.heap.back();
+  a.heap.pop_back();
+  return item;
+}
 
-  // Dense, address-sorted list of the computing router's neighbours, so
-  // first-hop sets can be compact index vectors and emission order matches
-  // the former std::set<Ipv4Addr> iteration exactly.
-  std::vector<net::Ipv4Addr> self_neighbors;
-  self_neighbors.reserve(ports_of.size());
-  for (const auto& [neighbor, ports] : ports_of) {
-    self_neighbors.push_back(neighbor);
-  }
-  std::sort(self_neighbors.begin(), self_neighbors.end());
-  std::unordered_map<net::Ipv4Addr, std::uint16_t> neighbor_index;
-  neighbor_index.reserve(self_neighbors.size());
-  for (std::size_t i = 0; i < self_neighbors.size(); ++i) {
-    neighbor_index[self_neighbors[i]] = static_cast<std::uint16_t>(i);
-  }
-
-  std::unordered_map<net::Ipv4Addr, NodeState> state;
-  state[self].dist = 0;
-
-  using QueueItem = std::pair<int, net::Ipv4Addr>;  // (dist, router)
-  auto cmp = [](const QueueItem& a, const QueueItem& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second > b.second;  // deterministic tie-break
-  };
-  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
-      cmp);
-  queue.push({0, self});
-  std::unordered_set<net::Ipv4Addr> done;
-
-  while (!queue.empty()) {
-    const auto [dist, u] = queue.top();
-    queue.pop();
-    if (!done.insert(u).second) continue;
-    const Lsa* lsa = lsdb.find(u);
-    if (lsa == nullptr) continue;
-    for (const LsaLink& edge : lsa->links) {
-      const net::Ipv4Addr v = edge.neighbor;
-      // For the computing router trust only its live local adjacencies;
-      // for everyone else require two-way agreement in the LSDB.
+/// Full Dijkstra from `self` into `a` (starts a fresh epoch). Edge rules
+/// mirror OSPF: from `self`, trust only live local adjacencies (the
+/// SelfView gate) with costs from self's own LSA; from anyone else,
+/// require the precomputed two-way flag.
+void dijkstra_full(const LinkStateGraph& g, RouterIndex self,
+                   const SelfView& view, SpfArrays& a) {
+  a.begin(g.node_count());
+  a.touch(self);
+  a.dist[self] = 0;
+  heap_push(a, 0, g.router_of(self).value(), self);
+  while (!a.heap.empty()) {
+    const SpfArrays::HeapItem item = heap_pop(a);
+    const RouterIndex u = item.node;
+    if (a.is_settled(u)) continue;
+    a.settle(u);
+    const int du = a.dist[u];
+    for (const DenseEdge& e : g.edges(u)) {
+      const RouterIndex v = e.to;
+      int hop_index = -1;
       if (u == self) {
-        if (!ports_of.contains(v)) continue;
-      } else if (!two_way(lsdb, u, v)) {
+        hop_index = view.index_of(g.router_of(v));
+        if (hop_index < 0) continue;
+      } else if (!e.two_way) {
         continue;
       }
-      const int ndist = dist + edge.cost;
-      NodeState& sv = state[v];
-      if (ndist < sv.dist) {
-        sv.dist = ndist;
-        sv.first_hops.clear();
+      const int nd = du + e.cost;
+      FirstHopSet& hv = a.touch(v);
+      if (nd < a.dist[v]) {
+        a.dist[v] = nd;
+        hv.clear();
       }
-      if (ndist == sv.dist) {
+      if (nd == a.dist[v]) {
         if (u == self) {
-          insert_first_hop(sv.first_hops, neighbor_index.at(v));
+          insert_first_hop(hv, static_cast<std::uint16_t>(hop_index));
         } else {
-          union_first_hops(sv.first_hops, state[u].first_hops);
+          union_first_hops(hv, a.hops[u]);
         }
-        queue.push({ndist, v});
+        heap_push(a, nd, g.router_of(v).value(), v);
       }
     }
   }
+}
 
+/// Emits routes from the tree in `a`: one route per (reachable
+/// destination, redistributed prefix), with the first-hop indices mapped
+/// back to local ports. Always a full O(nodes) pass — which is what lets
+/// prefix-only LSA churn reuse the cached tree untouched.
+std::vector<Route> emit_routes(const LinkStateGraph& g, RouterIndex self,
+                               const SelfView& view, const SpfArrays& a) {
   std::vector<Route> routes;
-  for (const auto& [router, node_state] : state) {
-    if (router == self || node_state.first_hops.empty()) continue;
-    const Lsa* lsa = lsdb.find(router);
+  const std::size_t n = g.node_count();
+  for (RouterIndex i = 0; i < n; ++i) {
+    if (i == self || !a.reached(i)) continue;
+    const FirstHopSet& hv = a.hops[i];
+    if (hv.empty()) continue;
+    const Lsa* lsa = g.lsa_of(i);
     if (lsa == nullptr || lsa->prefixes.empty()) continue;
     std::vector<NextHop> next_hops;
-    for (const std::uint16_t hop_index : node_state.first_hops) {
-      const net::Ipv4Addr hop = self_neighbors[hop_index];
-      const auto it = ports_of.find(hop);
-      if (it == ports_of.end()) continue;
-      for (const net::PortId port : it->second) {
+    for (const std::uint16_t hop_index : hv) {
+      const net::Ipv4Addr hop = view.neighbors[hop_index];
+      for (const net::PortId port : view.ports[hop_index]) {
         next_hops.push_back(NextHop{port, hop});
       }
     }
@@ -137,24 +144,299 @@ std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
   return routes;
 }
 
+/// Starts a fresh epoch on a mark vector sized for `n` nodes.
+void begin_marks(std::vector<std::uint32_t>& marks, std::uint32_t& epoch,
+                 std::size_t n) {
+  if (marks.size() < n) marks.resize(n, 0u);
+  if (++epoch == 0) {
+    std::fill(marks.begin(), marks.end(), 0u);
+    epoch = 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
+                               const std::vector<LocalAdjacency>& adjacency) {
+  const LinkStateGraph& g = lsdb.graph();
+  const RouterIndex self_index = g.index_of(self);
+  if (self_index == kNoRouter) return {};
+  const SelfView view = build_self_view(adjacency);
+  SpfArrays& a = g.scratch();
+  dijkstra_full(g, self_index, view, a);
+  return emit_routes(g, self_index, view, a);
+}
+
 bool lsdb_reachable(const Lsdb& lsdb, net::Ipv4Addr from, net::Ipv4Addr to) {
   if (from == to) return true;
-  std::unordered_set<net::Ipv4Addr> visited{from};
-  std::vector<net::Ipv4Addr> frontier{from};
-  while (!frontier.empty()) {
-    const net::Ipv4Addr u = frontier.back();
-    frontier.pop_back();
-    const Lsa* lsa = lsdb.find(u);
-    if (lsa == nullptr) continue;
-    for (const LsaLink& edge : lsa->links) {
-      if (!two_way(lsdb, u, edge.neighbor)) continue;
-      if (edge.neighbor == to) return true;
-      if (visited.insert(edge.neighbor).second) {
-        frontier.push_back(edge.neighbor);
+  const LinkStateGraph& g = lsdb.graph();
+  const RouterIndex src = g.index_of(from);
+  const RouterIndex dst = g.index_of(to);
+  if (src == kNoRouter || dst == kNoRouter) return false;
+  // BFS over the precomputed two-way edge set, using the shared scratch's
+  // settled stamps as the visited set and its heap storage as the stack.
+  SpfArrays& a = g.scratch();
+  a.begin(g.node_count());
+  a.settle(src);
+  a.heap.push_back(SpfArrays::HeapItem{0, 0, src});
+  while (!a.heap.empty()) {
+    const RouterIndex u = a.heap.back().node;
+    a.heap.pop_back();
+    for (const DenseEdge& e : g.edges(u)) {
+      if (!e.two_way) continue;
+      if (e.to == dst) return true;
+      if (!a.is_settled(e.to)) {
+        a.settle(e.to);
+        a.heap.push_back(SpfArrays::HeapItem{0, 0, e.to});
       }
     }
   }
   return false;
+}
+
+namespace {
+
+/// Subtree repair after a two-way link between `ev.u` and `ev.v` (both
+/// != self) disappeared; the graph no longer holds the edge, the event
+/// carries its former costs.
+///
+/// Phase 1 finds the affected set A: if the dead edge lay on any shortest
+/// path (dist[parent] + cost == dist[child]), every node with a shortest
+/// path through it is a descendant of the child along shortest-path-DAG
+/// edges, so a DAG-edge BFS from the child over-approximates exactly the
+/// nodes whose distance or first-hop set may change; everything outside A
+/// keeps its final state. Phase 2 resets A and seeds each member from its
+/// unaffected parents (including `self`, handled specially because its
+/// edges are gated by local adjacency, not the two-way flag). Phase 3 is
+/// Dijkstra restricted to A: parents settle strictly before children
+/// (costs are verified positive), so first-hop sets copied/unioned at
+/// settle time are final.
+void repair_link_down(const LinkStateGraph& g, RouterIndex self,
+                      const SelfView& view, SpfArrays& a, const GraphEvent& ev,
+                      std::vector<RouterIndex>& affected,
+                      std::vector<RouterIndex>& stack,
+                      std::vector<std::uint32_t>& affected_mark,
+                      std::uint32_t& affected_epoch,
+                      std::vector<std::uint32_t>& settled_mark,
+                      std::uint32_t& settled_epoch) {
+  const int du = a.distance(ev.u);
+  const int dv = a.distance(ev.v);
+  RouterIndex seed = kNoRouter;
+  if (du != SpfArrays::kUnreached && dv == du + ev.cost_uv) {
+    seed = ev.v;
+  } else if (dv != SpfArrays::kUnreached && du == dv + ev.cost_vu) {
+    seed = ev.u;
+  }
+  if (seed == kNoRouter) return;  // the dead edge was on no shortest path
+
+  begin_marks(affected_mark, affected_epoch, g.node_count());
+  const auto in_affected = [&](RouterIndex i) {
+    return affected_mark[i] == affected_epoch;
+  };
+  affected.clear();
+  stack.clear();
+  affected_mark[seed] = affected_epoch;
+  affected.push_back(seed);
+  stack.push_back(seed);
+  while (!stack.empty()) {
+    const RouterIndex x = stack.back();
+    stack.pop_back();
+    const int dx = a.dist[x];  // finite: every member was reached
+    for (const DenseEdge& e : g.edges(x)) {
+      if (!e.two_way) continue;
+      const RouterIndex b = e.to;
+      if (b == self || in_affected(b)) continue;
+      if (a.distance(b) == dx + e.cost) {
+        affected_mark[b] = affected_epoch;
+        affected.push_back(b);
+        stack.push_back(b);
+      }
+    }
+  }
+
+  a.heap.clear();
+  for (const RouterIndex b : affected) a.set_unreached(b);
+  for (const RouterIndex b : affected) {
+    int best = SpfArrays::kUnreached;
+    FirstHopSet& hb = a.hops[b];
+    // `self` as boundary parent: its edge to b is usable iff self's LSA
+    // lists b AND a live local port reaches b. Not discoverable from b's
+    // own edge list (b may not advertise self back), hence the probe.
+    const net::Ipv4Addr baddr = g.router_of(b);
+    if (const int ni = view.index_of(baddr); ni >= 0) {
+      if (const DenseEdge* se = g.find_edge(self, b)) {
+        best = se->cost;
+        insert_first_hop(hb, static_cast<std::uint16_t>(ni));
+      }
+    }
+    for (const DenseEdge& e : g.edges(b)) {
+      if (!e.two_way) continue;
+      const RouterIndex y = e.to;
+      if (y == self || in_affected(y)) continue;
+      const int dy = a.distance(y);
+      if (dy == SpfArrays::kUnreached) continue;
+      const int cand = dy + e.rev_cost;  // cost of the y→b direction
+      if (cand < best) {
+        best = cand;
+        hb = a.hops[y];
+      } else if (cand == best) {
+        union_first_hops(hb, a.hops[y]);
+      }
+    }
+    if (best != SpfArrays::kUnreached) {
+      a.dist[b] = best;
+      heap_push(a, best, baddr.value(), b);
+    }
+  }
+
+  begin_marks(settled_mark, settled_epoch, g.node_count());
+  while (!a.heap.empty()) {
+    const SpfArrays::HeapItem item = heap_pop(a);
+    const RouterIndex u = item.node;
+    if (item.dist > a.dist[u] || settled_mark[u] == settled_epoch) continue;
+    settled_mark[u] = settled_epoch;
+    const int duu = a.dist[u];
+    for (const DenseEdge& e : g.edges(u)) {
+      if (!e.two_way) continue;
+      const RouterIndex v = e.to;
+      if (v == self || !in_affected(v)) continue;
+      const int nd = duu + e.cost;
+      if (nd < a.dist[v]) {
+        a.dist[v] = nd;
+        a.hops[v] = a.hops[u];
+        heap_push(a, nd, g.router_of(v).value(), v);
+      } else if (nd == a.dist[v]) {
+        union_first_hops(a.hops[v], a.hops[u]);
+      }
+    }
+  }
+}
+
+/// Tree growth after a two-way link between `ev.u` and `ev.v` (both
+/// != self) appeared; the graph already holds the edge.
+///
+/// Label-correcting pass seeded at the reached endpoints: every
+/// improvement (a strictly smaller distance, or a first-hop set gaining
+/// members at equal distance) is pushed and its children re-relaxed.
+/// Improvements propagate in nondecreasing distance order, distances only
+/// decrease toward their final values, and equal-distance unions only add
+/// hops that some shortest path really uses — so the pass converges to
+/// exactly the full-Dijkstra fixpoint without touching unaffected nodes.
+void repair_link_up(const LinkStateGraph& g, RouterIndex self, SpfArrays& a,
+                    const GraphEvent& ev) {
+  a.heap.clear();
+  if (a.distance(ev.u) != SpfArrays::kUnreached) {
+    heap_push(a, a.dist[ev.u], g.router_of(ev.u).value(), ev.u);
+  }
+  if (a.distance(ev.v) != SpfArrays::kUnreached) {
+    heap_push(a, a.dist[ev.v], g.router_of(ev.v).value(), ev.v);
+  }
+  while (!a.heap.empty()) {
+    const SpfArrays::HeapItem item = heap_pop(a);
+    const RouterIndex u = item.node;
+    if (a.distance(u) == SpfArrays::kUnreached || item.dist > a.dist[u]) {
+      continue;  // stale entry
+    }
+    const int du = a.dist[u];
+    for (const DenseEdge& e : g.edges(u)) {
+      if (!e.two_way) continue;
+      const RouterIndex v = e.to;
+      if (v == self) continue;
+      const int nd = du + e.cost;
+      FirstHopSet& hv = a.touch(v);
+      if (nd < a.dist[v]) {
+        a.dist[v] = nd;
+        hv = a.hops[u];
+        heap_push(a, nd, g.router_of(v).value(), v);
+      } else if (nd == a.dist[v]) {
+        if (union_first_hops(hv, a.hops[u])) {
+          heap_push(a, nd, g.router_of(v).value(), v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Route> SpfSolver::run(const Lsdb& lsdb, net::Ipv4Addr self,
+                                  const std::vector<LocalAdjacency>& adjacency) {
+  const LinkStateGraph& g = lsdb.graph();
+  const RouterIndex self_index = g.index_of(self);
+  last_incremental_ = false;
+  if (self_index == kNoRouter) {
+    have_state_ = false;
+    return {};
+  }
+  const SelfView view = build_self_view(adjacency);
+
+  // Classify the delta since the cached tree. Anything not provably
+  // confined to one two-way link away from `self` falls back to a full
+  // run; origin-only (one-way) churn elsewhere is invisible to this
+  // router's SPF and is skipped outright.
+  bool incremental = false;
+  const GraphEvent* structural = nullptr;
+  GraphEvent structural_storage;
+  if (have_state_ && graph_ == &g && self_index_ == self_index &&
+      !g.has_nonpositive_cost() && last_adjacency_ == adjacency) {
+    events_.clear();
+    if (g.changes_since(last_version_, events_)) {
+      bool confined = true;
+      int structural_count = 0;
+      for (const GraphEvent& ev : events_) {
+        if (ev.u == self_index || ev.v == self_index) {
+          confined = false;
+          break;
+        }
+        switch (ev.kind) {
+          case GraphEventKind::kOriginOnly:
+            break;  // one-way membership change away from self: no effect
+          case GraphEventKind::kCostChange:
+            confined = false;
+            break;
+          case GraphEventKind::kLinkUp:
+          case GraphEventKind::kLinkDown:
+            // Subtree repair needs strictly positive costs on both
+            // directions (also covers edges already gone from the graph,
+            // which has_nonpositive_cost no longer counts).
+            if (ev.cost_uv <= 0 || ev.cost_vu <= 0) {
+              confined = false;
+              break;
+            }
+            ++structural_count;
+            structural_storage = ev;
+            structural = &structural_storage;
+            break;
+        }
+        if (!confined) break;
+      }
+      incremental = confined && structural_count <= 1;
+      if (structural_count == 0) structural = nullptr;
+    }
+  }
+
+  if (incremental) {
+    arrays_.ensure(g.node_count());
+    if (structural != nullptr) {
+      if (structural->kind == GraphEventKind::kLinkDown) {
+        repair_link_down(g, self_index, view, arrays_, *structural, affected_,
+                         stack_, affected_mark_, affected_epoch_,
+                         settled_mark_, settled_epoch_);
+      } else {
+        repair_link_up(g, self_index, arrays_, *structural);
+      }
+    }
+    last_incremental_ = true;
+  } else {
+    dijkstra_full(g, self_index, view, arrays_);
+  }
+
+  graph_ = &g;
+  last_version_ = g.version();
+  self_index_ = self_index;
+  last_adjacency_ = adjacency;
+  have_state_ = true;
+  return emit_routes(g, self_index, view, arrays_);
 }
 
 }  // namespace f2t::routing

@@ -1,10 +1,11 @@
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "net/ids.hpp"
 #include "routing/lsdb.hpp"
+#include "routing/lsgraph.hpp"
 #include "routing/route.hpp"
 
 namespace f2t::routing {
@@ -15,6 +16,9 @@ namespace f2t::routing {
 struct LocalAdjacency {
   net::PortId port = net::kInvalidPort;
   net::Ipv4Addr neighbor;
+
+  friend bool operator==(const LocalAdjacency&, const LocalAdjacency&) =
+      default;
 };
 
 /// Shortest-path-first calculation (Dijkstra with ECMP).
@@ -27,11 +31,70 @@ struct LocalAdjacency {
 /// local ports in `adjacency` (parallel links to the same neighbor all
 /// become next hops, which is how the testbed's doubled across links form
 /// a 2-wide ECMP group).
+///
+/// Runs on the LSDB's dense link-state graph: the two-way check is read
+/// from precomputed per-edge flags and the per-run state lives in flat
+/// index-addressed arrays (the graph's shared scratch), so a run performs
+/// no hashing and no per-run clearing.
 std::vector<Route> compute_spf(const Lsdb& lsdb, net::Ipv4Addr self,
                                const std::vector<LocalAdjacency>& adjacency);
 
 /// Reachability probe on the LSDB graph (two-way check applied); used by
 /// tests and topology validation.
 bool lsdb_reachable(const Lsdb& lsdb, net::Ipv4Addr from, net::Ipv4Addr to);
+
+/// Incremental SPF engine: one instance per computing router.
+///
+/// `run` returns exactly what `compute_spf` would return for the same
+/// (lsdb, self, adjacency) inputs — that equivalence is the contract,
+/// enforced by tests/test_spf_incremental.cpp. Internally the solver keeps
+/// the previous run's shortest-path tree and, when the graph's event log
+/// shows the delta since then is a single two-way link coming up or going
+/// down away from `self`, repairs only the affected subtree instead of
+/// re-running global Dijkstra.
+///
+/// Fallback to a full run happens whenever confinement cannot be proven:
+/// first run, event log trimmed, any cost change, any event touching
+/// `self` (its relaxation trusts local adjacency, not the two-way set),
+/// a changed local adjacency, more than one structural event, or any
+/// non-positive cost in the database (subtree repair assumes parents are
+/// strictly closer than children). Prefix-only LSA churn produces no
+/// graph events, so the cached tree is reused and only route emission
+/// re-runs.
+class SpfSolver {
+ public:
+  /// Computes this router's OSPF routes. Always equivalent to
+  /// `compute_spf(lsdb, self, adjacency)`.
+  std::vector<Route> run(const Lsdb& lsdb, net::Ipv4Addr self,
+                         const std::vector<LocalAdjacency>& adjacency);
+
+  /// True when the previous `run` repaired the cached tree instead of
+  /// recomputing it (including the no-structural-change case).
+  bool last_run_incremental() const { return last_incremental_; }
+
+  /// Drops the cached tree; the next `run` recomputes from scratch.
+  void reset() { have_state_ = false; }
+
+ private:
+  // Identity of the graph the cached tree was computed on. Compared by
+  // address: a different (or reconstructed) Lsdb invalidates the state.
+  const LinkStateGraph* graph_ = nullptr;
+  std::uint64_t last_version_ = 0;
+  RouterIndex self_index_ = kNoRouter;
+  std::vector<LocalAdjacency> last_adjacency_;
+  bool have_state_ = false;
+  bool last_incremental_ = false;
+
+  SpfArrays arrays_;  ///< persistent shortest-path tree, epoch-stamped
+
+  // Repair scratch, reused across runs (see spf.cpp for the algorithms).
+  std::vector<GraphEvent> events_;
+  std::vector<RouterIndex> affected_;
+  std::vector<RouterIndex> stack_;
+  std::vector<std::uint32_t> affected_mark_;
+  std::uint32_t affected_epoch_ = 0;
+  std::vector<std::uint32_t> settled_mark_;
+  std::uint32_t settled_epoch_ = 0;
+};
 
 }  // namespace f2t::routing

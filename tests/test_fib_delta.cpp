@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "routing/fib.hpp"
+
+namespace f2t::routing {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+Route make(const char* prefix, std::vector<NextHop> hops,
+           RouteSource source = RouteSource::kOspf) {
+  return Route{Prefix::parse(prefix), std::move(hops), source};
+}
+
+TEST(FibDelta, IdenticalSetIsANoopAndKeepsGeneration) {
+  Fib fib;
+  fib.replace_source(RouteSource::kOspf,
+                     {make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}}),
+                      make("10.11.1.0/24", {{1, Ipv4Addr(2, 2, 2, 2)},
+                                            {2, Ipv4Addr(3, 3, 3, 3)}})});
+  const std::uint64_t generation = fib.generation();
+  const auto before = fib.dump();
+
+  // Same set, different route order and unsorted next hops: still a no-op
+  // after canonicalization.
+  const std::size_t touched = fib.apply_source_delta(
+      RouteSource::kOspf,
+      {make("10.11.1.0/24",
+            {{2, Ipv4Addr(3, 3, 3, 3)}, {1, Ipv4Addr(2, 2, 2, 2)}}),
+       make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}})});
+  EXPECT_EQ(touched, 0u);
+  EXPECT_EQ(fib.generation(), generation)
+      << "a no-op delta must not invalidate resolved-route caches";
+  EXPECT_TRUE(fib.dump() == before);
+}
+
+TEST(FibDelta, InstallsChangesAndRemovesStale) {
+  Fib fib;
+  fib.replace_source(RouteSource::kOspf,
+                     {make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}}),
+                      make("10.11.1.0/24", {{1, Ipv4Addr(2, 2, 2, 2)}}),
+                      make("10.11.2.0/24", {{2, Ipv4Addr(3, 3, 3, 3)}})});
+  const std::uint64_t generation = fib.generation();
+
+  // Keep /24#0 unchanged, rehome /24#1, drop /24#2, add /24#3.
+  const std::size_t touched = fib.apply_source_delta(
+      RouteSource::kOspf,
+      {make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}}),
+       make("10.11.1.0/24", {{3, Ipv4Addr(4, 4, 4, 4)}}),
+       make("10.11.3.0/24", {{4, Ipv4Addr(5, 5, 5, 5)}})});
+  EXPECT_EQ(touched, 3u);  // one reinstall, one removal, one new install
+  EXPECT_GT(fib.generation(), generation);
+
+  Fib want;
+  want.replace_source(RouteSource::kOspf,
+                      {make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}}),
+                       make("10.11.1.0/24", {{3, Ipv4Addr(4, 4, 4, 4)}}),
+                       make("10.11.3.0/24", {{4, Ipv4Addr(5, 5, 5, 5)}})});
+  EXPECT_TRUE(fib.dump() == want.dump());
+}
+
+TEST(FibDelta, OtherSourcesAreUntouched) {
+  Fib fib;
+  fib.install(make("10.11.0.0/16", {{7, Ipv4Addr(9, 9, 9, 9)}},
+                   RouteSource::kStatic));
+  fib.replace_source(RouteSource::kOspf,
+                     {make("10.11.0.0/24", {{0, Ipv4Addr(1, 1, 1, 1)}})});
+
+  // The OSPF set empties out; the static backup must survive.
+  const std::size_t touched =
+      fib.apply_source_delta(RouteSource::kOspf, {});
+  EXPECT_EQ(touched, 1u);
+  const auto dump = fib.dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].source, RouteSource::kStatic);
+  EXPECT_EQ(dump[0].prefix, Prefix::parse("10.11.0.0/16"));
+}
+
+TEST(FibDelta, RejectsEmptyNextHopsLikeInstall) {
+  Fib fib;
+  EXPECT_THROW(fib.apply_source_delta(RouteSource::kOspf,
+                                      {make("10.11.0.0/24", {})}),
+               std::invalid_argument);
+}
+
+// Property: after any sequence of deltas the FIB is indistinguishable
+// from one maintained with full replace_source rewrites.
+TEST(FibDelta, EquivalentToReplaceSourceUnderChurn) {
+  std::mt19937 rng(0xD17Au);
+  Fib delta_fib;
+  Fib replace_fib;
+  delta_fib.install(make("10.0.0.0/8", {{15, Ipv4Addr(8, 8, 8, 8)}},
+                         RouteSource::kStatic));
+  replace_fib.install(make("10.0.0.0/8", {{15, Ipv4Addr(8, 8, 8, 8)}},
+                           RouteSource::kStatic));
+
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Route> desired;
+    for (int p = 0; p < 8; ++p) {
+      if (rng() % 2 == 0) continue;  // prefix absent this round
+      std::vector<NextHop> hops;
+      const int width = 1 + static_cast<int>(rng() % 3);
+      for (int hop = 0; hop < width; ++hop) {
+        const auto port = static_cast<net::PortId>(rng() % 4);
+        hops.push_back(NextHop{port, Ipv4Addr(10, 250, 0, port)});
+      }
+      desired.push_back(Route{Prefix(Ipv4Addr(10, 20, std::uint8_t(p), 0), 24),
+                              std::move(hops), RouteSource::kOspf});
+    }
+    auto copy = desired;
+    delta_fib.apply_source_delta(RouteSource::kOspf, std::move(desired));
+    replace_fib.replace_source(RouteSource::kOspf, std::move(copy));
+    ASSERT_TRUE(delta_fib.dump() == replace_fib.dump())
+        << "diverged at round " << round;
+    ASSERT_EQ(delta_fib.size(), replace_fib.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Install-churn regression: a recompute that does not change the route set
+// must not count as a FIB install (pinned counter semantics) on any of the
+// three control planes.
+// ---------------------------------------------------------------------------
+
+TEST(InstallChurn, OspfNoopRecomputeCountsAsNoop) {
+  core::TestbedConfig config;
+  core::Testbed bed(core::topology_builder("fat", 4), config);
+  bed.converge();
+
+  net::L3Switch* sw = bed.topo().tors.front();
+  Ospf& ospf = bed.ospf_of(*sw);
+  const auto converged = ospf.counters();
+  EXPECT_GT(converged.fib_installs, 0u);
+
+  const std::uint64_t generation = sw->fib().generation();
+  ospf.run_spf_now();  // nothing changed since convergence
+  const auto after = ospf.counters();
+  EXPECT_EQ(after.fib_installs, converged.fib_installs)
+      << "a no-op recompute must not count as an install";
+  EXPECT_EQ(after.fib_noop_installs, converged.fib_noop_installs + 1);
+  EXPECT_EQ(after.spf_runs, converged.spf_runs + 1);
+  EXPECT_EQ(sw->fib().generation(), generation)
+      << "a no-op recompute must not rewrite the FIB";
+}
+
+TEST(InstallChurn, PathVectorNoopReconvergeCountsAsNoop) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kPathVector;
+  core::Testbed bed(core::topology_builder("fat", 4), config);
+  bed.converge();
+
+  net::L3Switch* sw = bed.topo().tors.front();
+  const auto converged = bed.path_vector_of(*sw).counters();
+  const std::uint64_t generation = sw->fib().generation();
+
+  bed.converge();  // identical fixed point: every install is a no-op
+  const auto after = bed.path_vector_of(*sw).counters();
+  EXPECT_EQ(after.fib_installs, converged.fib_installs);
+  EXPECT_EQ(after.fib_noop_installs, converged.fib_noop_installs + 1);
+  EXPECT_EQ(sw->fib().generation(), generation);
+}
+
+TEST(InstallChurn, CentralNoopConvergeLeavesFibAlone) {
+  core::TestbedConfig config;
+  config.control_plane = core::ControlPlane::kCentral;
+  core::Testbed bed(core::topology_builder("fat", 4), config);
+  bed.converge();
+
+  net::L3Switch* sw = bed.topo().tors.front();
+  const std::uint64_t generation = sw->fib().generation();
+  bed.converge();
+  EXPECT_EQ(sw->fib().generation(), generation)
+      << "an unchanged central recompute must not rewrite switch FIBs";
+}
+
+}  // namespace
+}  // namespace f2t::routing
