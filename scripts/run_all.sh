@@ -193,7 +193,7 @@ done
 
 echo "== release bench smoke =="
 if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.txt" 2>&1 \
-    && cmake --build "$RBUILD" -j --target bench_micro bench_spf >"$OUT/release_build.txt" 2>&1; then
+    && cmake --build "$RBUILD" -j --target bench_micro bench_spf bench_scale_sweep >"$OUT/release_build.txt" 2>&1; then
   mkdir -p "$OUT/release"
   if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_micro" \
         --benchmark_min_time=0.05) >"$OUT/release/bench_micro.txt" 2>&1; then
@@ -206,6 +206,15 @@ if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.t
   if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_spf") \
       >"$OUT/release/bench_spf.txt" 2>&1; then
     echo "release bench_spf FAILED (see $OUT/release/bench_spf.txt)"
+    fail=1
+  fi
+  # The hybrid-fidelity fast path: --full runs the flow-level k=32/48 fat
+  # trees on top of the k<=20 two-fidelity sweep. The hard wall-time
+  # budget fails the smoke if the flow-level path regresses to anywhere
+  # near packet-level cost (a healthy run is minutes under the cap).
+  if ! (cd "$OUT/release" && timeout 600 "../../$RBUILD/bench/bench_scale_sweep" \
+        --full) >"$OUT/release/bench_scale_sweep.txt" 2>&1; then
+    echo "release bench_scale_sweep FAILED or blew the 600 s budget (see $OUT/release/bench_scale_sweep.txt)"
     fail=1
   fi
 else
@@ -222,7 +231,7 @@ import glob, json, os, sys
 out = sys.argv[1]
 paths = sorted(glob.glob(os.path.join(out, "**", "BENCH_*.json"), recursive=True))
 ok = True
-for bench in ("micro", "spf"):
+for bench in ("micro", "spf", "scale_sweep"):
     required = os.path.join(out, "release", f"BENCH_{bench}.json")
     if required not in paths:
         print(f"MISSING {required}: release bench_{bench} smoke produced no JSON")
@@ -246,6 +255,40 @@ for path in paths:
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"BAD     {path}: {e}")
         ok = False
+sys.exit(0 if ok else 1)
+EOF
+[ $? -eq 0 ] || fail=1
+
+echo "== hybrid-fidelity guards =="
+# Two hard gates on the Release scale sweep: the k=48 flow-level recovery
+# run must have completed (its keys exist), and at k=20 the flow-level
+# simulation phase must stay >= 10x faster than packet-level.
+python3 - "$OUT/release/BENCH_scale_sweep.json" <<'EOF'
+import json, sys
+
+try:
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+except OSError as e:
+    print(f"MISSING {sys.argv[1]}: {e}")
+    sys.exit(1)
+vals = {r["name"]: r["value"] for r in doc["results"]}
+ok = True
+for key in ("fat_tree_flow_loss/k=48", "sim_wall/flow/k=48"):
+    if key not in vals:
+        print(f"FAIL    k=48 flow-level recovery did not complete ({key} missing)")
+        ok = False
+packet = vals.get("sim_wall/packet/k=20", 0.0)
+flow = vals.get("sim_wall/flow/k=20", 0.0)
+if packet <= 0 or flow <= 0:
+    print("FAIL    k=20 sim_wall rows missing from scale sweep")
+    ok = False
+else:
+    ratio = packet / flow
+    status = "OK     " if ratio >= 10 else "FAIL   "
+    print(f"{status} flow-level speedup at k=20: {ratio:.1f}x "
+          f"(packet {packet:.1f} ms vs flow {flow:.1f} ms, need >= 10x)")
+    ok = ok and ratio >= 10
 sys.exit(0 if ok else 1)
 EOF
 [ $? -eq 0 ] || fail=1

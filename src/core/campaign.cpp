@@ -64,7 +64,7 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
                     "link_sites", "seeds", "base_seed", "detection_ms",
                     "spf_ms", "fail_at_ms", "horizon_ms", "detection",
                     "bfd_tx_ms", "bfd_multiplier", "dampening", "fault",
-                    "gray_loss", "flap_period_ms", "flap_cycles"},
+                    "gray_loss", "flap_period_ms", "flap_cycles", "fidelity"},
                    "spec");
   CampaignSpec spec;
   spec.name = doc.string_or("name", spec.name);
@@ -167,6 +167,11 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
   if (spec.flap_period_ms < 1 || spec.flap_cycles < 1) {
     throw std::invalid_argument("campaign: flap_period_ms/flap_cycles < 1");
   }
+  spec.fidelity = doc.string_or("fidelity", spec.fidelity);
+  if (spec.fidelity != "packet" && spec.fidelity != "flow") {
+    throw std::invalid_argument("campaign: unknown fidelity \"" +
+                                spec.fidelity + "\" (packet|flow)");
+  }
   return spec;
 }
 
@@ -224,6 +229,9 @@ void CampaignSpec::write_json(std::ostream& os, int indent) const {
   }
   if (flap_cycles != defaults.flap_cycles) {
     os << ",\n" << pad << "  \"flap_cycles\": " << flap_cycles;
+  }
+  if (fidelity != defaults.fidelity) {
+    os << ",\n" << pad << "  \"fidelity\": \"" << fidelity << "\"";
   }
   os << "\n" << pad << "}";
 }

@@ -62,6 +62,9 @@ struct CampaignSpec {
   double gray_loss = 1.0;    ///< drop probability for "gray"
   int flap_period_ms = 300;  ///< full down/up cycle for "flap"
   int flap_cycles = 5;
+  /// Transport fidelity: "packet" (default, byte-identical artifacts) or
+  /// "flow" (fluid probe; see core::Fidelity for what it refuses).
+  std::string fidelity = "packet";
 
   /// Builds a spec from parsed JSON; throws std::invalid_argument on
   /// missing/mistyped fields and on unknown keys (typos must fail loudly,

@@ -7,9 +7,26 @@
 #include "topo/f2tree.hpp"
 #include "topo/leafspine.hpp"
 #include "topo/vl2.hpp"
+#include "transport/fluid.hpp"
 #include "transport/udp_app.hpp"
 
 namespace f2t::core {
+
+bool parse_fidelity(const std::string& name, Fidelity& out) {
+  if (name == "packet") {
+    out = Fidelity::kPacket;
+    return true;
+  }
+  if (name == "flow") {
+    out = Fidelity::kFlow;
+    return true;
+  }
+  return false;
+}
+
+const char* fidelity_name(Fidelity fidelity) {
+  return fidelity == Fidelity::kFlow ? "flow" : "packet";
+}
 
 Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
                                       int ring_width, int aspen_f) {
@@ -74,12 +91,42 @@ void run_and_observe(Testbed& bed, sim::Time horizon,
   observation.events = bed.obs().journal.events();
 }
 
-/// The shared probe-flow body: attach a CBR UDP probe for the plan's
-/// 5-tuple, fail the plan's links at knobs.fail_at, run to the horizon
-/// and collect the paper's metrics. Condition runs and campaign link-site
-/// runs differ only in how the plan is constructed.
-UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
-                    const RunKnobs& knobs) {
+/// Shared arrival accounting: per-packet delay/throughput series, the
+/// optional observability histogram, and the connectivity-loss window.
+/// Identical for both fidelities — the fluid path hands in the same
+/// Arrival records the packet-mode sink collects.
+void collect_udp_arrivals(
+    Testbed& bed, UdpRun& out,
+    const std::vector<transport::UdpSink::Arrival>& sink_arrivals,
+    std::uint32_t wire_bytes, sim::Time fail_at) {
+  obs::Histogram* delay_hist = nullptr;
+  if (bed.observing()) {
+    delay_hist = &bed.obs().metrics.histogram(
+        "udp.delay_us", {50, 100, 250, 500, 1000, 5000, 25000, 100000});
+  }
+  std::vector<sim::Time> arrivals;
+  arrivals.reserve(sink_arrivals.size());
+  for (const auto& a : sink_arrivals) {
+    arrivals.push_back(a.at);
+    out.delay_series.add(a.at, sim::to_micros(a.delay));
+    out.throughput.add(a.at, wire_bytes);
+    if (delay_hist != nullptr) delay_hist->observe(sim::to_micros(a.delay));
+  }
+  if (delay_hist != nullptr) {
+    // Re-snapshot so the histogram (filled after the run) is exported.
+    out.observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
+  }
+  const auto loss = stats::find_connectivity_loss(arrivals, fail_at);
+  out.ok = true;
+  if (loss) out.connectivity_loss = loss->duration();
+}
+
+/// The packet-fidelity probe-flow body: attach a CBR UDP probe for the
+/// plan's 5-tuple, fail the plan's links at knobs.fail_at, run to the
+/// horizon and collect the paper's metrics. Condition runs and campaign
+/// link-site runs differ only in how the plan is constructed.
+UdpRun run_udp_plan_packet(Testbed& bed, const failure::ScenarioPlan& plan,
+                           const RunKnobs& knobs) {
   UdpRun out;
   out.scenario = plan.description;
   out.site_class = plan.site_class;
@@ -102,27 +149,73 @@ UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
   out.packets_sent = sender.packets_sent();
   out.packets_lost =
       stats::packets_lost(sender.packets_sent(), sink.packets_received());
-  obs::Histogram* delay_hist = nullptr;
-  if (bed.observing()) {
-    delay_hist = &bed.obs().metrics.histogram(
-        "udp.delay_us", {50, 100, 250, 500, 1000, 5000, 25000, 100000});
-  }
-  std::vector<sim::Time> arrivals;
-  arrivals.reserve(sink.arrivals().size());
-  for (const auto& a : sink.arrivals()) {
-    arrivals.push_back(a.at);
-    out.delay_series.add(a.at, sim::to_micros(a.delay));
-    out.throughput.add(a.at, so.payload_bytes + net::kUdpHeaderBytes);
-    if (delay_hist != nullptr) delay_hist->observe(sim::to_micros(a.delay));
-  }
-  if (delay_hist != nullptr) {
-    // Re-snapshot so the histogram (filled after the run) is exported.
-    out.observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
-  }
-  const auto loss = stats::find_connectivity_loss(arrivals, knobs.fail_at);
-  out.ok = true;
-  if (loss) out.connectivity_loss = loss->duration();
+  collect_udp_arrivals(bed, out, sink.arrivals(),
+                       so.payload_bytes + net::kUdpHeaderBytes, knobs.fail_at);
   return out;
+}
+
+/// The flow-fidelity body: same plan, same metrics, no probe packets —
+/// the FluidProbe derives the delivered set from routing-state regimes
+/// and channel availability windows (see transport/fluid.hpp).
+UdpRun run_udp_plan_fluid(Testbed& bed, const failure::ScenarioPlan& plan,
+                          const RunKnobs& knobs) {
+  if (knobs.fault.kind == failure::FaultKind::kGray) {
+    throw std::invalid_argument(
+        "flow fidelity cannot model gray faults (per-packet loss draws "
+        "need packets); use packet fidelity");
+  }
+  if (knobs.config.detection.mode == routing::DetectionMode::kProbe) {
+    throw std::invalid_argument(
+        "flow fidelity requires oracle detection (BFD hello timing "
+        "interleaves with probe serialization); use packet fidelity");
+  }
+  UdpRun out;
+  out.scenario = plan.description;
+  out.site_class = plan.site_class;
+  out.probe_on_path = plan.on_path;
+
+  transport::FluidProbe::Options fo;
+  fo.sport = plan.sport;
+  fo.dport = plan.dport;
+  fo.stop = knobs.horizon - sim::millis(200);
+  transport::FluidProbe probe(bed.network(), *plan.src, *plan.dst, fo);
+  if (bed.observing()) {
+    const auto& fs = probe.stats();
+    bed.obs().metrics.register_probe("fluid.routing_changes", [&fs] {
+      return static_cast<double>(fs.routing_changes);
+    });
+    bed.obs().metrics.register_probe("fluid.retraces", [&fs] {
+      return static_cast<double>(fs.retraces);
+    });
+    bed.obs().metrics.register_probe("fluid.straddlers", [&fs] {
+      return static_cast<double>(fs.straddlers);
+    });
+    bed.obs().metrics.register_probe("fluid.loop_traces", [&fs] {
+      return static_cast<double>(fs.loop_traces);
+    });
+    bed.obs().metrics.register_probe("fluid.probe_rate_bps",
+                                     [&probe] { return probe.probe_rate_bps(); });
+  }
+
+  failure::apply_fault(bed.topo(), bed.injector(), plan, knobs.fault,
+                       knobs.fail_at);
+  run_and_observe(bed, knobs.horizon, out.observation);
+  probe.finalize();
+
+  out.packets_sent = probe.packets_sent();
+  out.packets_lost =
+      stats::packets_lost(probe.packets_sent(), probe.arrivals().size());
+  out.fluid_loop_traces = probe.stats().loop_traces;
+  collect_udp_arrivals(bed, out, probe.arrivals(),
+                       fo.payload_bytes + net::kUdpHeaderBytes, knobs.fail_at);
+  return out;
+}
+
+UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
+                    const RunKnobs& knobs) {
+  return knobs.fidelity == Fidelity::kFlow
+             ? run_udp_plan_fluid(bed, plan, knobs)
+             : run_udp_plan_packet(bed, plan, knobs);
 }
 
 }  // namespace
@@ -151,6 +244,11 @@ UdpRun run_udp_link_site(const Testbed::TopoBuilder& builder, int site,
 TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
                          failure::Condition condition,
                          const RunKnobs& knobs) {
+  if (knobs.fidelity == Fidelity::kFlow) {
+    throw std::invalid_argument(
+        "flow fidelity does not model TCP (window dynamics are per-packet); "
+        "use packet fidelity");
+  }
   TcpRun out;
   Testbed bed(builder, knobs.config);
   bed.converge();

@@ -21,6 +21,22 @@ namespace f2t::core {
 Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
                                       int ring_width = 2, int aspen_f = 1);
 
+/// Transport fidelity of a probe run.
+///
+/// kPacket is the default and simulates every packet as events — the
+/// byte-identical baseline all recorded campaign artifacts assume. kFlow
+/// switches the UDP probe to the fluid model (transport/fluid.hpp): no
+/// probe packets are simulated, paths are re-traced on routing-state
+/// transitions, and the delivered set is derived per constant-routing
+/// regime — the fast fidelity that reaches k=48/64 fat trees. Flow runs
+/// refuse gray faults, probe/BFD detection and TCP (per-packet physics).
+enum class Fidelity { kPacket, kFlow };
+
+/// Parses "packet" / "flow"; returns kPacket for anything else via the
+/// bool out-param being set false.
+bool parse_fidelity(const std::string& name, Fidelity& out);
+const char* fidelity_name(Fidelity fidelity);
+
 /// Knobs for one probe-flow failure experiment.
 struct RunKnobs {
   sim::Time fail_at = sim::millis(380);
@@ -30,6 +46,7 @@ struct RunKnobs {
   /// How the planned links fail at fail_at (bidirectional cut by default;
   /// see failure::FaultSpec for the unidirectional/gray/flap models).
   failure::FaultSpec fault;
+  Fidelity fidelity = Fidelity::kPacket;
 };
 
 /// CBR UDP probe through a failure condition (Fig 2(a), Fig 4, Fig 5,
@@ -47,6 +64,13 @@ struct UdpRun {
   bool probe_on_path = true;
   stats::TimeSeries delay_series;  ///< per-packet one-way delay (us)
   stats::ThroughputMeter throughput{sim::millis(20)};
+  /// Flow fidelity only: number of path traces that expired their TTL,
+  /// i.e. some routing regime held a forwarding loop on the probe's
+  /// path. Zero for packet runs and loop-free flow runs. Non-zero means
+  /// the run's loss accounting is conservative rather than packet-exact:
+  /// the packet engine additionally delivers loop-buffered packets at
+  /// reconvergence (see tests/test_fidelity_property.cpp).
+  std::uint64_t fluid_loop_traces = 0;
   /// Populated when knobs.config.observe is set: metrics snapshot at the
   /// horizon, the full event journal, and the engine profile.
   obs::RunObservation observation;

@@ -40,6 +40,10 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   knobs.fault.gray_loss = spec.gray_loss;
   knobs.fault.flap_period = sim::millis(spec.flap_period_ms);
   knobs.fault.flap_cycles = spec.flap_cycles;
+  if (!core::parse_fidelity(spec.fidelity, knobs.fidelity)) {
+    throw std::invalid_argument("campaign: unknown fidelity: " +
+                                spec.fidelity);
+  }
 
   const auto builder = core::topology_builder(
       shard.topology.name, shard.topology.ports, shard.topology.ring_width,

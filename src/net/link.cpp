@@ -48,6 +48,11 @@ void Link::set_channel_up(Channel& ch, bool up) {
   if (ch.up == up) return;
   ch.up = up;
   ++ch.epoch;
+  if (!channel_observers_.empty()) {
+    const Direction d =
+        &ch == &a_to_b_ ? Direction::kAToB : Direction::kBToA;
+    for (const auto& observer : channel_observers_) observer(*this, d, up);
+  }
   if (!up) {
     // Physical cut: everything queued or serialized in this direction
     // is lost.

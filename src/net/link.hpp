@@ -91,6 +91,16 @@ class Link {
     observers_.push_back(std::move(observer));
   }
 
+  /// Per-direction observer: (link, direction, direction-now-up?), fired
+  /// on every actual channel transition — including the unidirectional
+  /// ones that do not move the aggregate is_up() state the `Observer`
+  /// callback watches. The fluid transport model reconstructs per-channel
+  /// availability windows from exactly this stream.
+  using ChannelObserver = std::function<void(Link&, Direction, bool)>;
+  void add_channel_observer(ChannelObserver observer) {
+    if (observer) channel_observers_.push_back(std::move(observer));
+  }
+
   /// Why this link dropped a packet: the direction was down (cut wire,
   /// black-holed queue, lost mid-flight), the tail queue was full, or a
   /// configured gray failure ate it.
@@ -143,6 +153,7 @@ class Link {
   Channel a_to_b_;
   Channel b_to_a_;
   std::vector<Observer> observers_;
+  std::vector<ChannelObserver> channel_observers_;
   DropHook drop_hook_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_down_ = 0;

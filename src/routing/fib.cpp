@@ -41,6 +41,7 @@ void Fib::install(Route route) {
   }
   nonempty_lengths_ |= std::uint64_t{1} << length;
   ++generation_;
+  notify_changed();
 }
 
 void Fib::remove(const net::Prefix& prefix, RouteSource source) {
@@ -55,6 +56,7 @@ void Fib::remove(const net::Prefix& prefix, RouteSource source) {
       it->second.recompute_best();
       --count_;
       ++generation_;
+      notify_changed();
       break;
     }
   }
@@ -75,6 +77,7 @@ void Fib::clear_source(RouteSource source) {
           it->second.recompute_best();
           --count_;
           ++generation_;
+          notify_changed();
           break;
         }
       }

@@ -100,6 +100,16 @@ class Fib {
   /// instead of registering invalidation hooks.
   std::uint64_t generation() const { return generation_; }
 
+  /// Observer fired after every mutation that moves `generation()` (once
+  /// per written slot). Hooks must not mutate the FIB: they may run while
+  /// a bulk operation is mid-flight, so the useful pattern is to set a
+  /// dirty flag and re-read state later (the fluid transport model does
+  /// exactly that). No hooks are installed by default, so the mutation
+  /// paths pay a single empty-vector test.
+  void add_change_hook(std::function<void()> hook) {
+    if (hook) change_hooks_.push_back(std::move(hook));
+  }
+
   /// Exact-match query of the installed route (ignoring liveness).
   std::optional<Route> find(const net::Prefix& prefix, RouteSource source) const;
 
@@ -128,12 +138,17 @@ class Fib {
   void lookup_walk(net::Ipv4Addr dst, const PortPred& up, OutVec& out,
                    RouteSource* source_out = nullptr) const;
 
+  void notify_changed() {
+    for (const auto& hook : change_hooks_) hook();
+  }
+
   // One hash map per prefix length; lookup probes lengths 32..0, skipping
   // empty lengths via the bitmask (bit l set iff by_length_[l] nonempty).
   std::array<std::unordered_map<std::uint32_t, Slot>, 33> by_length_;
   std::uint64_t nonempty_lengths_ = 0;
   std::size_t count_ = 0;
   std::uint64_t generation_ = 0;
+  std::vector<std::function<void()>> change_hooks_;
 };
 
 }  // namespace f2t::routing

@@ -13,7 +13,7 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
     throw std::invalid_argument("Scheduler::schedule_at: empty action");
   }
   const EventId id = next_id_++;
-  queue_.push(QueuedEvent{at, id});
+  queue_.push(EventKey{at, id});
   actions_.emplace(id, std::move(action));
   ++live_count_;
   return id;
@@ -34,8 +34,8 @@ void Scheduler::cancel(EventId id) {
 }
 
 void Scheduler::drop_cancelled_head() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_.find(queue_.top().id);
+  while (const EventKey* head = queue_.peek()) {
+    const auto it = cancelled_.find(head->id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
     queue_.pop();
@@ -44,14 +44,15 @@ void Scheduler::drop_cancelled_head() {
 
 Time Scheduler::next_event_time() {
   drop_cancelled_head();
-  return queue_.empty() ? kNever : queue_.top().at;
+  const EventKey* head = queue_.peek();
+  return head == nullptr ? kNever : head->at;
 }
 
 bool Scheduler::step(Time until) {
   drop_cancelled_head();
-  if (queue_.empty() || queue_.top().at > until) return false;
-  const QueuedEvent ev = queue_.top();
-  queue_.pop();
+  const EventKey* head = queue_.peek();
+  if (head == nullptr || head->at > until) return false;
+  const EventKey ev = queue_.pop();
   // Move the action out of the side map before running it; the action may
   // schedule or cancel (including a self-cancel, which is then a no-op).
   auto node = actions_.extract(ev.id);
@@ -65,7 +66,10 @@ bool Scheduler::step(Time until) {
 std::size_t Scheduler::run(Time until) {
   std::size_t n = 0;
   while (step(until)) ++n;
-  if (until != kNever && now_ < until) now_ = until;
+  if (until != kNever && now_ < until) {
+    now_ = until;
+    queue_.advance(until);
+  }
   return n;
 }
 

@@ -2,25 +2,27 @@
 
 #include <cstddef>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
 #include "sim/event.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace f2t::sim {
 
 /// Deterministic discrete-event scheduler.
 ///
-/// A binary min-heap of (time, id) keys guarantees that two runs with the
-/// same inputs execute events in the same order; the actions themselves
-/// live in a side map keyed by EventId, so executing an event moves its
-/// action out of the map with no heap surgery (and no const_cast of the
-/// heap top — heap keys are immutable while queued). Cancellation is
-/// lazy: cancelled ids are remembered and their keys skipped when they
-/// surface, which keeps schedule/cancel O(log n).
+/// A calendar (bucket) queue of (time, id) keys — see sim/event_queue.hpp
+/// — guarantees that two runs with the same inputs execute events in the
+/// same order: pop order is strictly (time, id)-minimal, FIFO among
+/// same-timestamp events, independent of the calendar's bucket geometry.
+/// The actions themselves live in a side map keyed by EventId, so
+/// executing an event moves its action out of the map with no queue
+/// surgery (and no const_cast of the queue head — keys are immutable
+/// while queued). Cancellation is lazy: cancelled ids are remembered and
+/// their keys skipped when they surface, which keeps schedule/cancel
+/// O(1) amortized.
 class Scheduler {
  public:
   /// Current simulated time. Advances only while running events.
@@ -64,23 +66,9 @@ class Scheduler {
   bool is_pending(EventId id) const { return actions_.contains(id); }
 
  private:
-  /// Heap key of a scheduled event; the action lives in `actions_`.
-  struct QueuedEvent {
-    Time at = 0;
-    EventId id = kInvalidEventId;
-
-    /// Min-heap ordering: earliest time first, then earliest id (FIFO
-    /// among same-timestamp events, which keeps runs deterministic).
-    friend bool operator>(const QueuedEvent& a, const QueuedEvent& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
-  };
-
   void drop_cancelled_head();
 
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
-      queue_;
+  CalendarQueue queue_;
   std::unordered_map<EventId, std::function<void()>> actions_;
   std::unordered_set<EventId> cancelled_;
   Time now_ = 0;

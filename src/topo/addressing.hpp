@@ -1,5 +1,7 @@
 #pragma once
 
+#include <stdexcept>
+
 #include "net/ipv4.hpp"
 
 namespace f2t::topo {
@@ -14,26 +16,46 @@ namespace f2t::topo {
 /// (10.11.0.0/16, 10.10.0.0/15, 10.8.0.0/14, 10.0.0.0/13 …) so that the
 /// rightward across link is always preferred over the leftward one during
 /// fast rerouting — the loop-avoidance trick of §II-B.
+///
+/// The first 256 indices of each role keep the paper's dotted-quad layout
+/// exactly (10.11.t for ToRs, 10.12.a for aggs, 10.13.c for cores), so
+/// every address in an existing topology is unchanged. Indices >= 256 —
+/// what k=32/48/64 fat trees need — continue into disjoint second-octet
+/// bands: ToRs into 10.[32,64), aggs into 10.[64,96), cores into
+/// 10.[96,128), 256 indices per octet. Extended ToR subnets fall outside
+/// the backup-prefix chain's cover (10.8.0.0/13), which is why the
+/// F²-rewired builders keep the 256-ToR cap: the paper's Table II backups
+/// must cover every host.
 struct AddressPlan {
   static net::Ipv4Addr tor_router_id(int t) {
-    return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 1);
+    if (t < 256) return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 1);
+    return extended(kTorBand, t, 1);
   }
   static net::Prefix tor_subnet(int t) {
-    return net::Prefix(net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 0),
-                       24);
+    if (t < 256) {
+      return net::Prefix(
+          net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t), 0), 24);
+    }
+    return net::Prefix(extended(kTorBand, t, 0), 24);
   }
   static net::Ipv4Addr host_addr(int t, int h) {
-    return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t),
-                         static_cast<std::uint8_t>(10 + h));
+    if (t < 256) {
+      return net::Ipv4Addr(10, 11, static_cast<std::uint8_t>(t),
+                           static_cast<std::uint8_t>(10 + h));
+    }
+    return extended(kTorBand, t, static_cast<std::uint8_t>(10 + h));
   }
   static net::Ipv4Addr agg_router_id(int a) {
-    return net::Ipv4Addr(10, 12, static_cast<std::uint8_t>(a), 1);
+    if (a < 256) return net::Ipv4Addr(10, 12, static_cast<std::uint8_t>(a), 1);
+    return extended(kAggBand, a, 1);
   }
   static net::Ipv4Addr core_router_id(int c) {
-    return net::Ipv4Addr(10, 13, static_cast<std::uint8_t>(c), 1);
+    if (c < 256) return net::Ipv4Addr(10, 13, static_cast<std::uint8_t>(c), 1);
+    return extended(kCoreBand, c, 1);
   }
 
-  /// 10.11.0.0/16 — "prefix of all hosts" (Table II row 3).
+  /// 10.11.0.0/16 — "prefix of all hosts" (Table II row 3). Only true of
+  /// the first 256 ToRs; the F²-rewired builders enforce that cap.
   static net::Prefix dcn_prefix() {
     return net::Prefix(net::Ipv4Addr(10, 11, 0, 0), 16);
   }
@@ -44,11 +66,29 @@ struct AddressPlan {
     return net::Prefix(net::Ipv4Addr(10, 11, 0, 0), 16 - i);
   }
 
-  /// Upper bounds imposed by the dotted-quad plan.
-  static constexpr int kMaxTors = 256;
-  static constexpr int kMaxAggs = 256;
-  static constexpr int kMaxCores = 256;
+  /// Upper bounds imposed by the dotted-quad plan: 256 legacy indices
+  /// plus a 32-octet extension band per role.
+  static constexpr int kMaxTors = 256 + 32 * 256;
+  static constexpr int kMaxAggs = 256 + 32 * 256;
+  static constexpr int kMaxCores = 256 + 32 * 256;
   static constexpr int kMaxHostsPerTor = 240;
+  /// The ToR cap the Table II backup-prefix chain can actually cover;
+  /// F²-rewired builders must stay below it.
+  static constexpr int kMaxBackupCoveredTors = 256;
+
+ private:
+  static constexpr int kTorBand = 32;   // 10.[32,64).x
+  static constexpr int kAggBand = 64;   // 10.[64,96).x
+  static constexpr int kCoreBand = 96;  // 10.[96,128).x
+
+  static net::Ipv4Addr extended(int band, int index, std::uint8_t last) {
+    const int off = index - 256;
+    if (off < 0 || off >= 32 * 256) {
+      throw std::out_of_range("AddressPlan: index exceeds extension band");
+    }
+    return net::Ipv4Addr(10, static_cast<std::uint8_t>(band + off / 256),
+                         static_cast<std::uint8_t>(off % 256), last);
+  }
 };
 
 }  // namespace f2t::topo

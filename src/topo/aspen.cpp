@@ -24,6 +24,12 @@ BuiltTopology build_aspen_tree(net::Network& network,
   const int cores_per_group = half / (f + 1);
   const int hosts_per_tor =
       options.hosts_per_tor >= 0 ? options.hosts_per_tor : half;
+  if (pods * half > AddressPlan::kMaxTors ||
+      pods * half > AddressPlan::kMaxAggs ||
+      half * cores_per_group > AddressPlan::kMaxCores ||
+      hosts_per_tor > AddressPlan::kMaxHostsPerTor) {
+    throw std::invalid_argument("aspen: exceeds address plan capacity");
+  }
 
   BuiltTopology topo;
   topo.network = &network;

@@ -42,7 +42,9 @@ BuiltTopology build_f2tree_scaled(net::Network& network,
   const int cores_per_group = half - 1;
   const int hosts_per_tor =
       options.hosts_per_tor >= 0 ? options.hosts_per_tor : half;
-  if (pods * tors_per_pod > AddressPlan::kMaxTors ||
+  // Backup routes must cover every host subnet, so the rewired topology is
+  // bounded by the prefix chain's reach, not the full address plan.
+  if (pods * tors_per_pod > AddressPlan::kMaxBackupCoveredTors ||
       hosts_per_tor > AddressPlan::kMaxHostsPerTor) {
     throw std::invalid_argument("f2tree scaled: exceeds address plan capacity");
   }

@@ -25,8 +25,15 @@ void validate(const FatTreeOptions& options) {
     }
   }
   if (n / 2 > AddressPlan::kMaxHostsPerTor ||
-      n * n / 2 > AddressPlan::kMaxTors) {
+      n * n / 2 > AddressPlan::kMaxTors || n * n / 2 > AddressPlan::kMaxAggs ||
+      n * n / 4 > AddressPlan::kMaxCores) {
     throw std::invalid_argument("fat tree: exceeds address plan capacity");
+  }
+  // F² backup routes cover hosts via the Table II prefix chain, which only
+  // reaches the first 256 ToR subnets.
+  if (options.f2_rewire && n * n / 2 > AddressPlan::kMaxBackupCoveredTors) {
+    throw std::invalid_argument(
+        "fat tree: F^2 rewiring exceeds the backup-prefix cover (256 ToRs)");
   }
 }
 

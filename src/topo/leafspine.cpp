@@ -20,6 +20,14 @@ BuiltTopology build_leaf_spine(net::Network& network,
   const int leaves = options.f2_rewire ? n - 2 : n;
   const int hosts_per_leaf =
       options.hosts_per_leaf >= 0 ? options.hosts_per_leaf : n / 2;
+  if (leaves > AddressPlan::kMaxTors || spines > AddressPlan::kMaxCores ||
+      hosts_per_leaf > AddressPlan::kMaxHostsPerTor) {
+    throw std::invalid_argument("leaf-spine: exceeds address plan capacity");
+  }
+  if (options.f2_rewire && leaves > AddressPlan::kMaxBackupCoveredTors) {
+    throw std::invalid_argument(
+        "leaf-spine: F^2 rewiring exceeds the backup-prefix cover (256 ToRs)");
+  }
 
   BuiltTopology topo;
   topo.network = &network;

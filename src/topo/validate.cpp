@@ -34,6 +34,26 @@ void check_hosts(const BuiltTopology& topo, std::vector<std::string>& out) {
   }
 }
 
+/// Every router id and host address must be distinct: the extended address
+/// bands (k >= 32 fat trees) must never collide with the legacy dotted-quad
+/// layout or with each other.
+void check_addresses(const BuiltTopology& topo,
+                     std::vector<std::string>& out) {
+  std::unordered_set<std::uint32_t> seen;
+  auto claim = [&](std::uint32_t value, const std::string& owner) {
+    if (!seen.insert(value).second) {
+      out.push_back("duplicate address " + net::Ipv4Addr(value).str() +
+                    " at " + owner);
+    }
+  };
+  for (const net::L3Switch* sw : topo.all_switches()) {
+    claim(sw->router_id().value(), sw->name());
+  }
+  for (const net::Host* host : topo.hosts) {
+    claim(host->addr().value(), host->name());
+  }
+}
+
 void check_connected(const BuiltTopology& topo,
                      std::vector<std::string>& out) {
   if (topo.network->node_count() == 0) {
@@ -115,6 +135,7 @@ std::vector<std::string> validate_topology(const BuiltTopology& topo) {
   }
   check_port_budgets(topo, out);
   check_hosts(topo, out);
+  check_addresses(topo, out);
   check_connected(topo, out);
   check_rings(topo, out);
   return out;

@@ -19,6 +19,16 @@ BuiltTopology build_vl2(net::Network& network, const Vl2Options& options) {
   // the pair, keeping the rest dual-homed.
   const int tors_per_pair = options.f2_rewire ? n / 2 - 1 : n / 2;
   const int pairs = n / 2;
+  const int tors = pairs * tors_per_pair;
+  if (tors > AddressPlan::kMaxTors || aggs > AddressPlan::kMaxAggs ||
+      ints > AddressPlan::kMaxCores ||
+      options.hosts_per_tor > AddressPlan::kMaxHostsPerTor) {
+    throw std::invalid_argument("vl2: exceeds address plan capacity");
+  }
+  if (options.f2_rewire && tors > AddressPlan::kMaxBackupCoveredTors) {
+    throw std::invalid_argument(
+        "vl2: F^2 rewiring exceeds the backup-prefix cover (256 ToRs)");
+  }
 
   BuiltTopology topo;
   topo.network = &network;

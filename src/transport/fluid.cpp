@@ -1,0 +1,479 @@
+#include "transport/fluid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/l3switch.hpp"
+#include "routing/ecmp.hpp"
+
+namespace f2t::transport {
+
+namespace {
+
+std::uint32_t channel_key(const net::Link& link, net::Link::Direction d) {
+  return link.id() * 2u + (d == net::Link::Direction::kAToB ? 0u : 1u);
+}
+
+}  // namespace
+
+FluidProbe::FluidProbe(net::Network& network, const net::Host& src,
+                       const net::Host& dst, const Options& options)
+    : network_(network),
+      sim_(network.simulator()),
+      src_(src),
+      dst_(dst),
+      options_(options),
+      flows_(std::make_unique<FluidFlowTable>(
+          2 * network.link_count(),
+          network.default_link_params().bandwidth_bps)) {
+  if (options_.stop == sim::kNever) {
+    throw std::invalid_argument("FluidProbe: stop must be finite");
+  }
+  if (options_.interval <= 0) {
+    throw std::invalid_argument("FluidProbe: interval must be positive");
+  }
+  if (src_.port_count() == 0) {
+    throw std::invalid_argument("FluidProbe: source host has no uplink");
+  }
+  probe_.src = src_.addr();
+  probe_.dst = dst_.addr();
+  probe_.proto = net::Protocol::kUdp;
+  probe_.sport = options_.sport;
+  probe_.dport = options_.dport;
+  wire_bytes_ = options_.payload_bytes + net::kUdpHeaderBytes;
+  total_sends_ =
+      options_.stop <= options_.start
+          ? 0
+          : static_cast<std::uint64_t>(options_.stop - options_.start +
+                                       options_.interval - 1) /
+                static_cast<std::uint64_t>(options_.interval);
+
+  // Per-channel capacities for the rate table (links may deviate from the
+  // network default).
+  for (net::Link* link : network_.links()) {
+    flows_->set_capacity(channel_key(*link, net::Link::Direction::kAToB),
+                         link->params().bandwidth_bps);
+    flows_->set_capacity(channel_key(*link, net::Link::Direction::kBToA),
+                         link->params().bandwidth_bps);
+  }
+  // CBR demand: one wire-sized datagram per interval.
+  const double demand_bps = static_cast<double>(wire_bytes_) * 8.0 /
+                            sim::to_seconds(options_.interval);
+  probe_flow_ = flows_->add_flow({}, demand_bps);
+
+  attach_hooks();
+  retrace_regime();
+  sync_flow_path();
+}
+
+FluidProbe::~FluidProbe() = default;
+
+void FluidProbe::attach_hooks() {
+  channel_log_.assign(2 * network_.link_count(), {});
+  channel_init_up_.assign(2 * network_.link_count(), 1);
+  for (net::Link* link : network_.links()) {
+    using Dir = net::Link::Direction;
+    channel_init_up_[channel_key(*link, Dir::kAToB)] =
+        link->direction_up(Dir::kAToB) ? 1 : 0;
+    channel_init_up_[channel_key(*link, Dir::kBToA)] =
+        link->direction_up(Dir::kBToA) ? 1 : 0;
+    link->add_channel_observer([this](net::Link& l, Dir d, bool up) {
+      // Physical transitions are invisible to forwarding (paths depend on
+      // FIBs + detected ports only), so they never trigger a re-trace —
+      // they only extend the availability log the horizon evaluation
+      // reads.
+      channel_log_[channel_key(l, d)].push_back({sim_.now(), up});
+      ++stats_.transitions;
+    });
+  }
+  for (net::L3Switch* sw : network_.switches()) {
+    sw->fib().add_change_hook([this] { mark_routing_dirty(); });
+    sw->add_port_state_handler(
+        [this](net::PortId, bool) { mark_routing_dirty(); });
+  }
+}
+
+void FluidProbe::mark_routing_dirty() {
+  if (routing_dirty_) return;
+  routing_dirty_ = true;
+  // Coalesce: one processor run per burst of same-timestamp mutations.
+  // Scheduling with zero delay orders the run after every routing event
+  // already queued at this timestamp (their ids are older), which gives
+  // sends at later times the end-of-timestamp state — exactly what the
+  // packet engine's event ordering yields, since control events are
+  // scheduled ms ahead and therefore outrank µs-scale data events of equal
+  // timestamp. A mutation arriving *after* this run at the same timestamp
+  // re-arms the flag and triggers another (self-correcting) run.
+  sim_.after(0, [this] { process_change(); });
+}
+
+sim::Time FluidProbe::send_time(std::uint64_t k) const {
+  return options_.start + static_cast<sim::Time>(k) * options_.interval;
+}
+
+std::uint64_t FluidProbe::first_k_at_or_after(sim::Time t) const {
+  if (t <= options_.start) return 0;
+  const sim::Time delta = t - options_.start;
+  const auto k = static_cast<std::uint64_t>(
+      (delta + options_.interval - 1) / options_.interval);
+  return std::min(k, total_sends_);
+}
+
+sim::Time FluidProbe::hop_flight(const net::Link& link) const {
+  const double bits = static_cast<double>(wire_bytes_) * 8.0;
+  return sim::from_seconds(bits / link.params().bandwidth_bps) +
+         link.params().propagation_delay;
+}
+
+FluidProbe::Terminal FluidProbe::trace_from(const net::Node* node,
+                                            sim::Time at, int ttl,
+                                            std::vector<Hop>& hops) {
+  ++stats_.retraces;
+  const net::Node* current = node;
+  for (;;) {
+    if (current == &dst_) return Terminal::kDelivered;
+    const auto* sw = dynamic_cast<const net::L3Switch*>(current);
+    if (sw == nullptr) return Terminal::kWrongHost;
+    if (sw->router_id() == probe_.dst) return Terminal::kConsumed;
+    // L3Switch::forward drops when the arriving TTL is <= 1.
+    if (ttl <= 1) {
+      ++stats_.loop_traces;
+      return Terminal::kTtlExpired;
+    }
+    --ttl;
+    const auto& next_hops = sw->resolve_next_hops(probe_.dst);
+    if (next_hops.empty()) return Terminal::kNoRoute;
+    const std::size_t pick = routing::ecmp_select(
+        probe_, static_cast<std::uint64_t>(sw->id()), next_hops.size());
+    net::Link* link = sw->port(next_hops[pick].port).link;
+    const net::Link::End& to = link->peer_of(*sw);
+    const sim::Time flight = hop_flight(*link);
+    hops.push_back(Hop{channel_key(*link, link->direction_from(*sw)), at,
+                       flight, to.node->id(),
+                       static_cast<std::int16_t>(ttl)});
+    at += flight;
+    current = to.node;
+  }
+}
+
+FluidProbe::Terminal FluidProbe::trace_path(sim::Time base,
+                                            std::vector<Hop>& hops) {
+  hops.clear();
+  net::Link* uplink = src_.port(0).link;
+  const net::Link::End& to = uplink->peer_of(src_);
+  const sim::Time flight = hop_flight(*uplink);
+  // Hosts neither route nor decrement TTL; the stack stamps 64.
+  hops.push_back(Hop{channel_key(*uplink, uplink->direction_from(src_)),
+                     base, flight, to.node->id(), 64});
+  return trace_from(to.node, base + flight, 64, hops);
+}
+
+void FluidProbe::retrace_regime() {
+  regime_terminal_ = trace_path(0, regime_hops_);
+}
+
+sim::Time FluidProbe::regime_decision_offset() const {
+  // Forwarding decisions happen at hop enqueue times; a dropped or
+  // consumed packet's final decision happens on arrival at the dropping
+  // node, one flight later.
+  const Hop& last = regime_hops_.back();
+  return regime_terminal_ == Terminal::kDelivered ? last.enqueue
+                                                  : last.enqueue + last.flight;
+}
+
+void FluidProbe::partition_sends(sim::Time now) {
+  const std::uint64_t k_sent = first_k_at_or_after(now);
+  const std::uint64_t k_full = std::min(
+      k_sent, first_k_at_or_after(now - regime_decision_offset()));
+  if (k_full > next_k_) {
+    Batch batch;
+    batch.k_begin = next_k_;
+    batch.k_end = k_full;
+    batch.hops = regime_hops_;
+    batch.terminal = regime_terminal_;
+    batches_.push_back(std::move(batch));
+    ++stats_.batches;
+  }
+  for (std::uint64_t k = std::max(next_k_, k_full); k < k_sent; ++k) {
+    // Straddler: instantiate the regime path at this send's absolute
+    // times; advance_pending will keep the already-decided prefix and
+    // re-trace the rest under the new state.
+    Pending p;
+    p.k = k;
+    p.hops = regime_hops_;
+    for (Hop& hop : p.hops) hop.enqueue += send_time(k);
+    p.final_count = 0;
+    p.terminal = regime_terminal_;
+    pendings_.push_back(std::move(p));
+    ++stats_.straddlers;
+  }
+  next_k_ = std::max(next_k_, k_sent);
+}
+
+void FluidProbe::advance_pending(Pending& p, sim::Time now) {
+  // Promote optimistic hops whose forwarding decision predates `now`;
+  // they were traced under the regime that was live at their enqueue
+  // time, so they are final.
+  std::size_t keep = p.final_count;
+  while (keep < p.hops.size() && p.hops[keep].enqueue < now) ++keep;
+  const bool trace_intact = keep == p.hops.size();
+  if (trace_intact) {
+    const Hop& last = p.hops.back();
+    const bool decided =
+        p.terminal == Terminal::kDelivered  // no decision on host arrival
+        || last.enqueue + last.flight < now;
+    if (decided) {
+      resolved_.push_back(std::move(p));
+      return;
+    }
+  }
+  p.hops.resize(keep);
+  p.final_count = keep;
+  const Hop& last = p.hops.back();
+  p.terminal = trace_from(&network_.node(last.to),
+                          last.enqueue + last.flight, last.ttl_at_to,
+                          p.hops);
+  pendings_.push_back(std::move(p));
+}
+
+void FluidProbe::process_change() {
+  routing_dirty_ = false;
+  const sim::Time now = sim_.now();
+  ++stats_.routing_changes;
+
+  partition_sends(now);
+
+  std::vector<Pending> open = std::move(pendings_);
+  pendings_.clear();
+  for (Pending& p : open) advance_pending(p, now);
+
+  retrace_regime();
+  sync_flow_path();
+}
+
+void FluidProbe::sync_flow_path() {
+  std::vector<std::uint32_t> path;
+  if (regime_terminal_ == Terminal::kDelivered) {
+    path.reserve(regime_hops_.size());
+    for (const Hop& hop : regime_hops_) path.push_back(hop.channel);
+  }
+  flows_->set_path(probe_flow_, std::move(path));
+}
+
+double FluidProbe::probe_rate_bps() { return flows_->rate_of(probe_flow_); }
+
+bool FluidProbe::channel_clean(std::uint32_t channel) const {
+  return channel_log_[channel].empty() && channel_init_up_[channel] != 0;
+}
+
+bool FluidProbe::hop_open(std::uint32_t channel, sim::Time enqueue,
+                          sim::Time flight) const {
+  const auto& log = channel_log_[channel];
+  // State at enqueue: transitions stamped exactly at the enqueue time
+  // count as applied (transition events outrank data events of equal
+  // timestamp in the packet engine — they were scheduled earlier).
+  const auto next = std::upper_bound(
+      log.begin(), log.end(), enqueue,
+      [](sim::Time t, const Transition& tr) { return t < tr.at; });
+  const bool up =
+      next == log.begin() ? channel_init_up_[channel] != 0 : std::prev(next)->up;
+  if (!up) return false;
+  // Any transition during (enqueue, enqueue + flight] kills the packet:
+  // the channel epoch check at serialization end / delivery fails, and a
+  // transition exactly at the delivery timestamp fires first for the same
+  // event-ordering reason as above.
+  return next == log.end() || next->at > enqueue + flight;
+}
+
+bool FluidProbe::send_delivered(const std::vector<Hop>& hops,
+                                sim::Time base) const {
+  for (const Hop& hop : hops) {
+    if (channel_clean(hop.channel)) continue;
+    if (!hop_open(hop.channel, base + hop.enqueue, hop.flight)) return false;
+  }
+  return true;
+}
+
+void FluidProbe::emit_arrival(std::uint64_t k, sim::Time at) {
+  arrivals_.push_back(UdpSink::Arrival{at, k, at - send_time(k)});
+}
+
+void FluidProbe::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Close the last regime: no further routing changes, so everything
+  // outstanding is decided by the current path, and optimistic straddler
+  // continuations stand.
+  if (next_k_ < total_sends_) {
+    Batch batch;
+    batch.k_begin = next_k_;
+    batch.k_end = total_sends_;
+    batch.hops = regime_hops_;
+    batch.terminal = regime_terminal_;
+    batches_.push_back(std::move(batch));
+    ++stats_.batches;
+    next_k_ = total_sends_;
+  }
+  for (Pending& p : pendings_) resolved_.push_back(std::move(p));
+  pendings_.clear();
+
+  for (const Batch& batch : batches_) {
+    if (batch.terminal != Terminal::kDelivered) continue;
+    const Hop& last = batch.hops.back();
+    const sim::Time delay = last.enqueue + last.flight;
+    bool all_clean = true;
+    for (const Hop& hop : batch.hops) {
+      if (!channel_clean(hop.channel)) {
+        all_clean = false;
+        break;
+      }
+    }
+    for (std::uint64_t k = batch.k_begin; k < batch.k_end; ++k) {
+      const sim::Time t = send_time(k);
+      if (all_clean || send_delivered(batch.hops, t)) {
+        emit_arrival(k, t + delay);
+      }
+    }
+  }
+  for (const Pending& p : resolved_) {
+    if (p.terminal != Terminal::kDelivered) continue;
+    if (!send_delivered(p.hops, 0)) continue;
+    const Hop& last = p.hops.back();
+    emit_arrival(p.k, last.enqueue + last.flight);
+  }
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const UdpSink::Arrival& a, const UdpSink::Arrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.seq < b.seq;
+            });
+}
+
+FluidFlowTable::FluidFlowTable(std::size_t channel_count,
+                               double default_capacity_bps)
+    : capacity_(channel_count, default_capacity_bps),
+      stamp_(channel_count, 0),
+      residual_(channel_count, 0.0),
+      load_(channel_count, 0) {}
+
+void FluidFlowTable::set_capacity(std::uint32_t channel, double bps) {
+  if (bps <= 0) {
+    throw std::invalid_argument("FluidFlowTable: capacity must be positive");
+  }
+  capacity_.at(channel) = bps;
+  dirty_ = true;
+}
+
+FluidFlowTable::FlowId FluidFlowTable::add_flow(
+    std::vector<std::uint32_t> path, double demand_bps) {
+  for (const std::uint32_t c : path) capacity_.at(c);  // bounds check
+  Flow flow;
+  flow.path = std::move(path);
+  flow.demand = demand_bps;
+  flow.live = true;
+  flows_.push_back(std::move(flow));
+  ++live_flows_;
+  dirty_ = true;
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void FluidFlowTable::remove_flow(FlowId id) {
+  Flow& flow = flows_.at(id);
+  if (!flow.live) return;
+  flow.live = false;
+  flow.rate = 0.0;
+  --live_flows_;
+  dirty_ = true;
+}
+
+void FluidFlowTable::set_path(FlowId id, std::vector<std::uint32_t> path) {
+  for (const std::uint32_t c : path) capacity_.at(c);  // bounds check
+  Flow& flow = flows_.at(id);
+  if (flow.path == path) return;
+  flow.path = std::move(path);
+  dirty_ = true;
+}
+
+void FluidFlowTable::set_demand(FlowId id, double demand_bps) {
+  flows_.at(id).demand = demand_bps;
+  dirty_ = true;
+}
+
+double& FluidFlowTable::residual(std::uint32_t channel) {
+  if (stamp_[channel] != epoch_) {
+    stamp_[channel] = epoch_;
+    residual_[channel] = capacity_[channel];
+    load_[channel] = 0;
+  }
+  return residual_[channel];
+}
+
+std::uint32_t& FluidFlowTable::load(std::uint32_t channel) {
+  residual(channel);  // stamp
+  return load_[channel];
+}
+
+double FluidFlowTable::rate_of(FlowId id) {
+  if (dirty_) solve();
+  return flows_.at(id).rate;
+}
+
+void FluidFlowTable::solve() {
+  dirty_ = false;
+  ++solves_;
+  ++epoch_;
+
+  std::vector<FlowId> unfrozen;
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    Flow& flow = flows_[id];
+    flow.frozen = false;
+    flow.rate = 0.0;
+    if (!flow.live) continue;
+    if (flow.path.empty()) continue;  // unrouted: rate stays 0
+    unfrozen.push_back(id);
+    for (const std::uint32_t c : flow.path) ++load(c);
+  }
+
+  // Progressive filling: raise every unfrozen flow's rate by the largest
+  // uniform increment no channel or demand can absorb less of, then
+  // freeze whatever saturated. Terminates in <= live-flow iterations
+  // (every round freezes at least one flow).
+  while (!unfrozen.empty()) {
+    double inc = std::numeric_limits<double>::max();
+    for (const FlowId id : unfrozen) {
+      const Flow& flow = flows_[id];
+      inc = std::min(inc, flow.demand - flow.rate);
+      for (const std::uint32_t c : flow.path) {
+        inc = std::min(inc, residual(c) / static_cast<double>(load_[c]));
+      }
+    }
+    for (const FlowId id : unfrozen) {
+      Flow& flow = flows_[id];
+      flow.rate += inc;
+      for (const std::uint32_t c : flow.path) residual(c) -= inc;
+    }
+    std::vector<FlowId> still;
+    still.reserve(unfrozen.size());
+    for (const FlowId id : unfrozen) {
+      Flow& flow = flows_[id];
+      bool frozen = flow.rate >= flow.demand;
+      if (!frozen) {
+        for (const std::uint32_t c : flow.path) {
+          if (residual(c) <= 1e-9 * capacity_[c]) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        flow.frozen = true;
+        for (const std::uint32_t c : flow.path) --load(c);
+      } else {
+        still.push_back(id);
+      }
+    }
+    if (still.size() == unfrozen.size()) break;  // numeric safety valve
+    unfrozen = std::move(still);
+  }
+}
+
+}  // namespace f2t::transport

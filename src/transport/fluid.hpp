@@ -1,0 +1,266 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "transport/udp_app.hpp"
+
+namespace f2t::transport {
+
+/// Flow-level (fluid) transport: the simulation core's fast fidelity.
+///
+/// Packet-level runs cost one event per packet per hop — O(10^6) events
+/// for a single 3-second probe flow, independent of what is actually being
+/// measured. But the paper's headline metric, the connectivity-loss
+/// window, is a property of *routing-state transitions*: a CBR probe's
+/// packet k is delivered iff, at each hop of the path the routing state
+/// assigns it, the traversed channel stays up across its serialization +
+/// propagation window. The fluid model therefore simulates no probe
+/// packets at all. It watches the routing state (FIB generations and
+/// detected-port epochs) and the physical channel transitions, re-traces
+/// the probe's path only when the routing state changes, and derives the
+/// delivered set in closed form per constant-routing regime.
+///
+/// Exactness: under oracle detection and a packet-free control plane
+/// (central), the fluid arrival set — times, sequence numbers, one-way
+/// delays — is *identical* to the packet-level run's, because the probe is
+/// the only packet stream and every quantity the packet engine computes
+/// per event is piecewise-affine in the send time. With an LSA-flooding
+/// control plane (OSPF) the windows agree whenever no control packet
+/// shares a busy serializer with a boundary probe packet (control packets
+/// are µs-scale and flood only during the outage); the fidelity property
+/// suite pins the exact-equality cases. Not modelled (construction
+/// refuses): gray faults (per-packet RNG needs packets), probe/BFD
+/// detection (hello timing would interleave with probe serialization),
+/// and TCP (window dynamics are inherently per-packet).
+class FluidFlowTable;
+
+class FluidProbe {
+ public:
+  struct Options {
+    std::uint16_t sport = 9000;
+    std::uint16_t dport = 9000;
+    std::uint32_t payload_bytes = net::kMss;
+    sim::Time interval = sim::micros(100);
+    sim::Time start = 0;
+    /// Exclusive send cutoff. Must be finite: the fluid model enumerates
+    /// the send set arithmetically.
+    sim::Time stop = 0;
+  };
+
+  struct Stats {
+    std::uint64_t routing_changes = 0;  ///< coalesced change-processor runs
+    std::uint64_t retraces = 0;         ///< path traces performed
+    std::uint64_t transitions = 0;      ///< channel transitions logged
+    std::uint64_t batches = 0;          ///< constant-regime send batches
+    std::uint64_t straddlers = 0;       ///< sends split across regimes
+    /// Traces that ran out of TTL: the routing state held a forwarding
+    /// loop on the probe's path. Loop regimes are the one place the fluid
+    /// model is *not* packet-exact — the packet engine buffers looping
+    /// packets in saturated queues and drains survivors at reconvergence,
+    /// which is inherently per-packet behaviour (see the fidelity
+    /// property suite's loop carve-out).
+    std::uint64_t loop_traces = 0;
+  };
+
+  /// Attaches to every switch FIB, detected-port handler and link channel
+  /// of `network`. Attach *after* control-plane convergence (warm-start
+  /// installs would only cause idle re-traces) and *before* faults are
+  /// injected (channel logs must be complete).
+  FluidProbe(net::Network& network, const net::Host& src,
+             const net::Host& dst, const Options& options);
+  ~FluidProbe();
+
+  FluidProbe(const FluidProbe&) = delete;
+  FluidProbe& operator=(const FluidProbe&) = delete;
+
+  /// Closes the final routing regime and evaluates every send against the
+  /// recorded channel availability windows. Call once, after the
+  /// simulation ran to its horizon.
+  void finalize();
+
+  /// Delivered probe packets, sorted by (arrival time, sequence number);
+  /// shape-compatible with UdpSink::arrivals(). Valid after finalize().
+  const std::vector<UdpSink::Arrival>& arrivals() const { return arrivals_; }
+
+  std::uint64_t packets_sent() const { return total_sends_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// The max-min rate table the probe registers its live path with (one
+  /// flow here; shared when several fluid workloads run on one network).
+  FluidFlowTable& flows() { return *flows_; }
+
+  /// The probe flow's current max-min rate share in bits per second.
+  double probe_rate_bps();
+
+ private:
+  /// One resolved hop of a send's path. `enqueue` is absolute in pending
+  /// records and send-relative in regime batches.
+  struct Hop {
+    std::uint32_t channel = 0;  ///< link id * 2 + direction
+    sim::Time enqueue = 0;
+    sim::Time flight = 0;  ///< serialization + propagation
+    net::NodeId to = net::kInvalidNode;
+    std::int16_t ttl_at_to = 0;
+  };
+
+  /// Where a traced path ends, mirroring the packet engine's outcomes.
+  enum class Terminal {
+    kDelivered,   ///< reached the destination host
+    kNoRoute,     ///< a switch had no usable next hop
+    kTtlExpired,  ///< transient loop consumed the TTL
+    kConsumed,    ///< dst matched a router id (never for host probes)
+    kWrongHost,   ///< forwarded into a non-destination host
+  };
+
+  /// A maximal run of sends whose every hop falls inside one
+  /// constant-routing regime; hop enqueue fields are offsets from the
+  /// send time, so the record covers the whole [k_begin, k_end) range.
+  struct Batch {
+    std::uint64_t k_begin = 0;
+    std::uint64_t k_end = 0;
+    std::vector<Hop> hops;
+    Terminal terminal = Terminal::kNoRoute;
+  };
+
+  /// A send whose path straddles a routing change: hops[0..final_count)
+  /// were decided by past regimes and are final; the rest is the
+  /// optimistic continuation under the newest state, truncated and
+  /// re-traced whenever the routing state changes again.
+  struct Pending {
+    std::uint64_t k = 0;
+    std::vector<Hop> hops;
+    std::size_t final_count = 0;
+    Terminal terminal = Terminal::kNoRoute;
+  };
+
+  struct Transition {
+    sim::Time at = 0;
+    bool up = true;
+  };
+
+  void attach_hooks();
+  void mark_routing_dirty();
+  void process_change();
+  sim::Time send_time(std::uint64_t k) const;
+  std::uint64_t first_k_at_or_after(sim::Time t) const;
+  sim::Time hop_flight(const net::Link& link) const;
+  /// Traces the forwarding walk from `node` (a packet arriving there at
+  /// `at` with `ttl`), appending hops. Pure read of the live routing
+  /// state.
+  Terminal trace_from(const net::Node* node, sim::Time at, int ttl,
+                      std::vector<Hop>& hops);
+  /// Traces the full path from the source host; offsets when base == 0.
+  Terminal trace_path(sim::Time base, std::vector<Hop>& hops);
+  void retrace_regime();
+  /// Decision horizon of the current regime path: a send at t is fully
+  /// decided once now > t + off_dec (all forwarding and drop decisions
+  /// behind it).
+  sim::Time regime_decision_offset() const;
+  void partition_sends(sim::Time now);
+  void advance_pending(Pending& p, sim::Time now);
+  void sync_flow_path();
+  bool channel_clean(std::uint32_t channel) const;
+  bool hop_open(std::uint32_t channel, sim::Time enqueue,
+                sim::Time flight) const;
+  bool send_delivered(const std::vector<Hop>& hops, sim::Time base) const;
+  void emit_arrival(std::uint64_t k, sim::Time at);
+
+  net::Network& network_;
+  sim::Simulator& sim_;
+  const net::Host& src_;
+  const net::Host& dst_;
+  Options options_;
+  net::Packet probe_;  ///< header fields the ECMP hash consumes
+  std::uint32_t wire_bytes_ = 0;
+  std::uint64_t total_sends_ = 0;
+
+  /// Per-channel availability: initial state at attach + every transition
+  /// since, indexed by link id * 2 + direction.
+  std::vector<std::vector<Transition>> channel_log_;
+  std::vector<char> channel_init_up_;
+
+  bool routing_dirty_ = false;
+  std::vector<Hop> regime_hops_;  ///< enqueue = offset from send time
+  Terminal regime_terminal_ = Terminal::kNoRoute;
+  std::uint64_t next_k_ = 0;  ///< first send not yet batched or pended
+
+  std::vector<Batch> batches_;
+  std::vector<Pending> pendings_;
+  std::vector<Pending> resolved_;  ///< fully decided straddlers
+  std::vector<UdpSink::Arrival> arrivals_;
+  bool finalized_ = false;
+
+  std::unique_ptr<FluidFlowTable> flows_;
+  std::uint32_t probe_flow_ = 0;
+
+  Stats stats_;
+};
+
+/// Per-flow max-min fair rate shares over directed link channels.
+///
+/// Progressive water-filling: every unfrozen flow's rate rises uniformly;
+/// a flow freezes when it hits its demand or when a channel on its path
+/// saturates. Channels are identified as link id * 2 + direction, matching
+/// FluidProbe's channel keys. Solves are incremental in the epoch-stamped
+/// flat-array style of routing/lsgraph: per-channel scratch (residual
+/// capacity, unfrozen-flow count) lives in flat arrays stamped with a
+/// solve epoch, so a solve touches only the channels actually crossed by
+/// flows — never O(all channels) — and add/remove/set_path just mark the
+/// table dirty for the next rates() query.
+class FluidFlowTable {
+ public:
+  using FlowId = std::uint32_t;
+  static constexpr double kUnbounded = std::numeric_limits<double>::max();
+
+  /// `channel_count` = 2 * link count; `default_capacity_bps` seeds every
+  /// channel (override per channel with set_capacity).
+  FluidFlowTable(std::size_t channel_count, double default_capacity_bps);
+
+  void set_capacity(std::uint32_t channel, double bps);
+
+  /// Registers a flow crossing `path` (channel keys, in order) with an
+  /// application demand ceiling. An empty path means "currently unrouted":
+  /// the flow's rate is 0 until set_path gives it one.
+  FlowId add_flow(std::vector<std::uint32_t> path,
+                  double demand_bps = kUnbounded);
+  void remove_flow(FlowId id);
+  void set_path(FlowId id, std::vector<std::uint32_t> path);
+  void set_demand(FlowId id, double demand_bps);
+
+  /// The flow's max-min rate in bps; re-solves if the table is dirty.
+  double rate_of(FlowId id);
+
+  std::size_t flow_count() const { return live_flows_; }
+  std::uint64_t solve_count() const { return solves_; }
+
+ private:
+  struct Flow {
+    std::vector<std::uint32_t> path;
+    double demand = kUnbounded;
+    double rate = 0.0;
+    bool live = false;
+    bool frozen = false;
+  };
+
+  void solve();
+  double& residual(std::uint32_t channel);
+  std::uint32_t& load(std::uint32_t channel);
+
+  std::vector<Flow> flows_;
+  std::vector<double> capacity_;
+  /// Epoch-stamped scratch: valid for channel c iff stamp_[c] == epoch_.
+  std::vector<std::uint64_t> stamp_;
+  std::vector<double> residual_;
+  std::vector<std::uint32_t> load_;
+  std::uint64_t epoch_ = 0;
+  std::size_t live_flows_ = 0;
+  bool dirty_ = false;
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace f2t::transport

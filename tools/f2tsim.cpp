@@ -43,6 +43,7 @@ int usage() {
       "           [--bfd-multiplier 3] [--no-dampening]\n"
       "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
       "           [--flap-period-ms 300] [--flap-cycles 5]\n"
+      "           [--fidelity packet|flow]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
@@ -56,6 +57,7 @@ int usage() {
       "           [--bfd-multiplier 3] [--no-dampening]\n"
       "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
       "           [--flap-period-ms 300] [--flap-cycles 5]\n"
+      "           [--fidelity packet|flow]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
       "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
@@ -119,6 +121,12 @@ void apply_detection_flags(core::Cli& cli, core::RunKnobs& knobs) {
   knobs.fault.gray_loss = cli.get_double("gray-loss", 1.0);
   knobs.fault.flap_period = sim::millis(cli.get_int("flap-period-ms", 300));
   knobs.fault.flap_cycles = cli.get_int("flap-cycles", 5);
+
+  const std::string fidelity = cli.get("fidelity", "packet");
+  if (!core::parse_fidelity(fidelity, knobs.fidelity)) {
+    throw std::invalid_argument("unknown fidelity: " + fidelity +
+                                " (packet|flow)");
+  }
 }
 
 /// Writes the observability artefacts of one observed run: metrics JSON,
@@ -327,6 +335,11 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   spec.gray_loss = cli.get_double("gray-loss", 1.0);
   spec.flap_period_ms = cli.get_int("flap-period-ms", 300);
   spec.flap_cycles = cli.get_int("flap-cycles", 5);
+  spec.fidelity = cli.get("fidelity", "packet");
+  if (spec.fidelity != "packet" && spec.fidelity != "flow") {
+    throw std::invalid_argument("unknown fidelity: " + spec.fidelity +
+                                " (packet|flow)");
+  }
   if (spec.conditions.empty() && spec.link_sites == 0) {
     // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
     using failure::Condition;
