@@ -73,6 +73,109 @@ else
   fail=1
 fi
 
+echo "== traced recover smoke =="
+# A traced, sampled recovery run must produce a loadable Chrome
+# trace_event JSON (the complete parent-linked recovery span chain) and a
+# schema-valid telemetry JSONL with a rollup trailer.
+if "$BUILD"/tools/f2tsim recover --topo f2 --ports 4 --condition C1 \
+    --trace-out "$OUT/trace.json" --samples-out "$OUT/samples.jsonl" \
+    --sample-interval-ms 5 >"$OUT/traced_recover.txt" 2>&1; then
+  python3 - "$OUT/trace.json" "$OUT/samples.jsonl" <<'EOF'
+import json, sys
+
+ok = True
+trace_path, samples_path = sys.argv[1], sys.argv[2]
+try:
+    with open(trace_path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    if not events:
+        raise ValueError("no trace events")
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = {e["name"] for e in spans}
+    # The causal chain of one single-cut recovery, end to end.
+    chain = {"recovery", "link_down", "detect", "fib_delta",
+             "first_rerouted_packet"}
+    missing = chain - names
+    if missing:
+        raise ValueError(f"span chain incomplete, missing {sorted(missing)}")
+    for e in spans:
+        for key in ("ts", "dur", "pid", "tid", "args"):
+            if key not in e:
+                raise ValueError(f"span {e['name']} missing key {key!r}")
+        if e["dur"] < 0:
+            raise ValueError(f"span {e['name']} has negative duration")
+    flows_s = sum(1 for e in events if e.get("ph") == "s")
+    flows_f = sum(1 for e in events if e.get("ph") == "f")
+    if flows_s == 0 or flows_s != flows_f:
+        raise ValueError(f"unbalanced causal arrows ({flows_s} s / {flows_f} f)")
+    print(f"OK      {trace_path} ({len(spans)} spans, {flows_s} causal links)")
+except (OSError, KeyError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {trace_path}: {e}")
+    ok = False
+try:
+    with open(samples_path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if len(lines) < 3:
+        raise ValueError("expected header, rows and rollup trailer")
+    header, rows, trailer = lines[0], lines[1:-1], lines[-1]
+    if header.get("schema_version") != 1 or header.get("stream") != "f2t-samples":
+        raise ValueError(f"bad header {header}")
+    if header.get("rows") != len(rows):
+        raise ValueError(f"header says {header.get('rows')} rows, got {len(rows)}")
+    width = len(header["series"])
+    prev = -1
+    for r in rows:
+        if len(r["v"]) != width:
+            raise ValueError("row width != series count")
+        if r["at"] <= prev:
+            raise ValueError("rows not strictly chronological")
+        prev = r["at"]
+    rollups = {r["name"] for r in trailer["rollups"]}
+    if rollups != set(header["series"]):
+        raise ValueError("rollup trailer does not cover every series")
+    print(f"OK      {samples_path} ({len(rows)} rows x {width} series)")
+except (OSError, KeyError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {samples_path}: {e}")
+    ok = False
+sys.exit(0 if ok else 1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "traced recover smoke FAILED (see $OUT/traced_recover.txt)"
+  fail=1
+fi
+
+echo "== campaign artifact byte-identity (observability defaults) =="
+# A spec that sets the observability knobs to their defaults must produce
+# the exact artifact of a spec that never mentions them: the knobs are
+# omitted from the canonical echo, so pre-observability artifacts remain
+# byte-identical.
+cat >"$OUT/spec_plain.json" <<'EOF'
+{"name": "ident", "topologies": [{"name": "f2", "ports": 4}],
+ "conditions": ["C1"], "seeds": 1, "horizon_ms": 1200}
+EOF
+cat >"$OUT/spec_defaults.json" <<'EOF'
+{"name": "ident", "topologies": [{"name": "f2", "ports": 4}],
+ "conditions": ["C1"], "seeds": 1, "horizon_ms": 1200,
+ "trace": false, "sample_interval_ms": 0}
+EOF
+if "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_plain.json" --no-profile \
+      --out "$OUT/campaign_plain.json" >"$OUT/campaign_ident.txt" 2>&1 \
+    && "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_defaults.json" \
+      --no-profile --out "$OUT/campaign_defaults.json" \
+      >>"$OUT/campaign_ident.txt" 2>&1; then
+  if cmp -s "$OUT/campaign_plain.json" "$OUT/campaign_defaults.json"; then
+    echo "OK      default observability knobs leave the artifact byte-identical"
+  else
+    echo "BAD     artifact changed when trace/sample_interval_ms were set to defaults"
+    fail=1
+  fi
+else
+  echo "byte-identity smoke FAILED (see $OUT/campaign_ident.txt)"
+  fail=1
+fi
+
 echo "== campaign smoke =="
 # A small multi-threaded campaign must produce a schema-valid artifact,
 # and its deterministic portion must be byte-identical to a single-job

@@ -64,7 +64,8 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
                     "link_sites", "seeds", "base_seed", "detection_ms",
                     "spf_ms", "fail_at_ms", "horizon_ms", "detection",
                     "bfd_tx_ms", "bfd_multiplier", "dampening", "fault",
-                    "gray_loss", "flap_period_ms", "flap_cycles", "fidelity"},
+                    "gray_loss", "flap_period_ms", "flap_cycles", "fidelity",
+                    "trace", "sample_interval_ms"},
                    "spec");
   CampaignSpec spec;
   spec.name = doc.string_or("name", spec.name);
@@ -172,6 +173,12 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
     throw std::invalid_argument("campaign: unknown fidelity \"" +
                                 spec.fidelity + "\" (packet|flow)");
   }
+  spec.trace = doc.bool_or("trace", spec.trace);
+  spec.sample_interval_ms = static_cast<int>(
+      doc.int_or("sample_interval_ms", spec.sample_interval_ms));
+  if (spec.sample_interval_ms < 0) {
+    throw std::invalid_argument("campaign: negative sample_interval_ms");
+  }
   return spec;
 }
 
@@ -232,6 +239,13 @@ void CampaignSpec::write_json(std::ostream& os, int indent) const {
   }
   if (fidelity != defaults.fidelity) {
     os << ",\n" << pad << "  \"fidelity\": \"" << fidelity << "\"";
+  }
+  if (trace != defaults.trace) {
+    os << ",\n" << pad << "  \"trace\": " << (trace ? "true" : "false");
+  }
+  if (sample_interval_ms != defaults.sample_interval_ms) {
+    os << ",\n"
+       << pad << "  \"sample_interval_ms\": " << sample_interval_ms;
   }
   os << "\n" << pad << "}";
 }
@@ -362,6 +376,18 @@ void CampaignResult::write_json(std::ostream& os,
        << ", \"loss_ns\": " << r.connectivity_loss
        << ", \"sent\": " << r.packets_sent << ", \"lost\": " << r.packets_lost
        << ", \"events\": " << r.events_executed;
+    // Observability fields ride along only when the spec asked for the
+    // corresponding axis — the emission condition is the *spec*, not the
+    // per-run values, so the record shape is uniform and deterministic.
+    if (spec.trace) {
+      os << ", \"spans\": " << r.spans << ", \"detect_ns\": " << r.detect_ns
+         << ", \"converge_ns\": " << r.converge_ns;
+    }
+    if (spec.sample_interval_ms > 0) {
+      os << ", \"samples\": " << r.samples
+         << ", \"queue_p99\": " << fmt(r.queue_p99)
+         << ", \"queue_max\": " << fmt(r.queue_max);
+    }
     if (!r.error.empty()) {
       os << ", \"error\": \"" << json::escape(r.error) << "\"";
     }

@@ -65,6 +65,17 @@ struct CampaignSpec {
   /// Transport fidelity: "packet" (default, byte-identical artifacts) or
   /// "flow" (fluid probe; see core::Fidelity for what it refuses).
   std::string fidelity = "packet";
+  /// Observability axes (PR 7). `trace` turns on the journal per shard
+  /// and derives recovery-span milestones into the per-run records;
+  /// `sample_interval_ms > 0` runs the telemetry sampler per shard and
+  /// records its queue-depth rollups. Both default off, and write_json
+  /// emits the keys (and the extra per-run fields) only when set — specs
+  /// that do not use them produce byte-identical artifacts to older
+  /// builds. Note sampling adds tick events to each shard's schedule
+  /// (still deterministic for a given spec, but not comparable to an
+  /// unsampled artifact's event counts).
+  bool trace = false;
+  int sample_interval_ms = 0;
 
   /// Builds a spec from parsed JSON; throws std::invalid_argument on
   /// missing/mistyped fields and on unknown keys (typos must fail loudly,
@@ -119,6 +130,17 @@ struct ShardResult {
   std::size_t events_executed = 0;
   double wall_seconds = 0;
   std::string scenario;
+  /// Trace-derived recovery milestones (filled when spec.trace; -1 when
+  /// the journal shows the milestone never happened). Relative to the
+  /// failure instant, like Table III.
+  std::size_t spans = 0;
+  sim::Time detect_ns = -1;
+  sim::Time converge_ns = -1;
+  /// Sampler summary (filled when spec.sample_interval_ms > 0): retained
+  /// rows and the network-wide queue-depth rollup.
+  std::size_t samples = 0;
+  double queue_p99 = 0;
+  double queue_max = 0;
   /// Populated when the shard threw instead of completing: the exception
   /// message, recorded per shard so one poisoned axis value cannot abort
   /// the rest of the campaign. Emitted in the artifact only when

@@ -86,8 +86,19 @@ Testbed::Testbed(const TopoBuilder& builder, const TestbedConfig& config)
 
   injector_ = std::make_unique<failure::FailureInjector>(*network_);
 
+  if (config_.sample_interval > 0) {
+    sampler_ = std::make_unique<obs::TelemetrySampler>(
+        *sim_, obs::SamplerConfig{config_.sample_interval,
+                                  config_.sample_capacity});
+    obs::attach_telemetry(*sampler_, *sim_, *network_);
+  }
+
   if (config_.observe) {
     obs_ = std::make_unique<obs::Observability>();
+    obs_->journal.set_capacity(config_.journal_capacity);
+    obs_->metrics.register_probe("journal.dropped_events", [this]() {
+      return static_cast<double>(obs_->journal.dropped());
+    });
     obs::attach_journal(*sim_, *network_, obs_->journal);
     for (const auto& instance : ospf_) {
       obs::attach_journal(*sim_, *instance, obs_->journal);
@@ -199,6 +210,17 @@ void Testbed::converge() {
   } else {
     routing::warm_start_all(ospf_);
   }
+  // Sampling starts from the converged state: the first tick lands one
+  // interval into the workload, not during warm-start.
+  if (sampler_ != nullptr) sampler_->start();
+}
+
+obs::TelemetrySampler& Testbed::sampler() {
+  if (sampler_ == nullptr) {
+    throw std::logic_error(
+        "Testbed: sampling is off (set TestbedConfig.sample_interval)");
+  }
+  return *sampler_;
 }
 
 routing::PathVector& Testbed::path_vector_of(const net::L3Switch& sw) {

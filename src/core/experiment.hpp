@@ -7,6 +7,7 @@
 
 #include "failure/injector.hpp"
 #include "obs/observer.hpp"
+#include "obs/sampler.hpp"
 #include "routing/bfd.hpp"
 #include "routing/central.hpp"
 #include "routing/detection.hpp"
@@ -47,6 +48,19 @@ struct TestbedConfig {
   /// an unobserved run has no hooks installed anywhere, so it pays zero
   /// cost — not even a branch on the forwarding fast path.
   bool observe = false;
+  /// Event-journal bound (events beyond it are dropped and counted; see
+  /// obs::EventJournal). Only meaningful with `observe`.
+  std::size_t journal_capacity = obs::EventJournal::kDefaultCapacity;
+  /// Periodic telemetry sampling interval; 0 (the default) disables the
+  /// sampler entirely — no sampler object, no scheduler events, so the
+  /// run's event stream is untouched. Independent of `observe`: sampling
+  /// does not require the journal/metrics machinery. Note an enabled
+  /// sampler *does* add its tick events to the schedule, which can
+  /// reorder same-timestamp work relative to an unsampled run — leave it
+  /// off for byte-identity-sensitive runs.
+  sim::Time sample_interval = 0;
+  /// Ring capacity (ticks) retained by the sampler.
+  std::size_t sample_capacity = 4096;
   /// Logger threshold applied to the simulator at construction.
   sim::LogLevel log_level = sim::LogLevel::kWarn;
 };
@@ -101,6 +115,13 @@ class Testbed {
   /// can only be attached at construction time).
   obs::Observability& obs();
 
+  /// True when the config requested periodic telemetry sampling.
+  bool sampling() const { return sampler_ != nullptr; }
+
+  /// The telemetry sampler (started by converge()). Throws when the
+  /// config left `sample_interval` at 0.
+  obs::TelemetrySampler& sampler();
+
  private:
   TestbedConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -118,6 +139,7 @@ class Testbed {
   std::unordered_map<const net::Host*, transport::HostStack*> stack_by_host_;
   std::unique_ptr<failure::FailureInjector> injector_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
 };
 
 }  // namespace f2t::core

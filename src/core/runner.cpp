@@ -73,9 +73,10 @@ Testbed::TopoBuilder topology_builder(const std::string& name, int ports,
 namespace {
 
 /// Runs the simulation to the horizon. The engine profile (event count,
-/// wall clock) is always filled — the campaign engine accounts for work
-/// per shard without paying for full observation; the journal and metrics
-/// snapshot are only collected when observation is on.
+/// wall clock, calendar-queue stats) is always filled — the campaign
+/// engine accounts for work per shard without paying for full
+/// observation; the journal and metrics snapshot are only collected when
+/// observation is on, and the sampler report only when sampling is.
 void run_and_observe(Testbed& bed, sim::Time horizon,
                      obs::RunObservation& observation) {
   const auto wall_start = std::chrono::steady_clock::now();
@@ -85,6 +86,8 @@ void run_and_observe(Testbed& bed, sim::Time horizon,
   observation.profile.events_executed = executed;
   observation.profile.wall_seconds = wall.count();
   observation.profile.sim_seconds = sim::to_seconds(bed.sim().now());
+  observation.profile.queue = bed.sim().scheduler().queue_stats();
+  if (bed.sampling()) observation.samples = bed.sampler().report();
   if (!bed.observing()) return;
   observation.enabled = true;
   observation.metrics = bed.obs().metrics.snapshot(bed.sim().now());
@@ -99,6 +102,7 @@ void collect_udp_arrivals(
     Testbed& bed, UdpRun& out,
     const std::vector<transport::UdpSink::Arrival>& sink_arrivals,
     std::uint32_t wire_bytes, sim::Time fail_at) {
+  const auto collect_start = std::chrono::steady_clock::now();
   obs::Histogram* delay_hist = nullptr;
   if (bed.observing()) {
     delay_hist = &bed.obs().metrics.histogram(
@@ -119,6 +123,9 @@ void collect_udp_arrivals(
   const auto loss = stats::find_connectivity_loss(arrivals, fail_at);
   out.ok = true;
   if (loss) out.connectivity_loss = loss->duration();
+  const std::chrono::duration<double> collect =
+      std::chrono::steady_clock::now() - collect_start;
+  out.observation.profile.collect_wall_seconds = collect.count();
 }
 
 /// The packet-fidelity probe-flow body: attach a CBR UDP probe for the
@@ -196,11 +203,35 @@ UdpRun run_udp_plan_fluid(Testbed& bed, const failure::ScenarioPlan& plan,
     bed.obs().metrics.register_probe("fluid.probe_rate_bps",
                                      [&probe] { return probe.probe_rate_bps(); });
   }
+  if (bed.sampling()) {
+    // FluidFlowTable rate of the probe flow, sampled like any other
+    // series (the probe is constructed before the first tick fires).
+    bed.sampler().add_gauge("fluid.probe_rate_bps",
+                            [&probe] { return probe.probe_rate_bps(); });
+  }
 
   failure::apply_fault(bed.topo(), bed.injector(), plan, knobs.fault,
                        knobs.fail_at);
   run_and_observe(bed, knobs.horizon, out.observation);
   probe.finalize();
+  if (bed.observing()) {
+    // Materialize the fluid model's derived deliveries as journal events
+    // so the RecoveryTimeline (and the span tracer) see the same
+    // packet_delivered stream a packet-fidelity run records. Appended
+    // after the fact — the timeline sorts deliveries by time itself.
+    auto& journal = bed.obs().journal;
+    const std::int64_t dst_id = plan.dst->id();
+    for (const auto& a : probe.arrivals()) {
+      obs::Event e;
+      e.at = a.at;
+      e.type = obs::EventType::kPacketDelivered;
+      e.proto = static_cast<std::uint8_t>(net::Protocol::kUdp);
+      e.node = dst_id;
+      e.uid = a.seq;
+      journal.record(e);
+    }
+    out.observation.events = journal.events();
+  }
 
   out.packets_sent = probe.packets_sent();
   out.packets_lost =
@@ -223,22 +254,32 @@ UdpRun run_udp_plan(Testbed& bed, const failure::ScenarioPlan& plan,
 UdpRun run_udp_condition(const Testbed::TopoBuilder& builder,
                          failure::Condition condition,
                          const RunKnobs& knobs) {
+  const auto setup_start = std::chrono::steady_clock::now();
   Testbed bed(builder, knobs.config);
   bed.converge();
   const auto plan = failure::build_condition(bed.topo(), condition,
                                              net::Protocol::kUdp);
+  const std::chrono::duration<double> setup =
+      std::chrono::steady_clock::now() - setup_start;
   if (!plan) return {};
-  return run_udp_plan(bed, *plan, knobs);
+  auto out = run_udp_plan(bed, *plan, knobs);
+  out.observation.profile.setup_wall_seconds = setup.count();
+  return out;
 }
 
 UdpRun run_udp_link_site(const Testbed::TopoBuilder& builder, int site,
                          const RunKnobs& knobs) {
+  const auto setup_start = std::chrono::steady_clock::now();
   Testbed bed(builder, knobs.config);
   bed.converge();
   const auto plan =
       failure::build_link_site_plan(bed.topo(), site, net::Protocol::kUdp);
+  const std::chrono::duration<double> setup =
+      std::chrono::steady_clock::now() - setup_start;
   if (!plan) return {};
-  return run_udp_plan(bed, *plan, knobs);
+  auto out = run_udp_plan(bed, *plan, knobs);
+  out.observation.profile.setup_wall_seconds = setup.count();
+  return out;
 }
 
 TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
@@ -250,10 +291,15 @@ TcpRun run_tcp_condition(const Testbed::TopoBuilder& builder,
         "use packet fidelity");
   }
   TcpRun out;
+  const auto setup_start = std::chrono::steady_clock::now();
   Testbed bed(builder, knobs.config);
   bed.converge();
   const auto plan = failure::build_condition(bed.topo(), condition,
                                              net::Protocol::kTcp);
+  out.observation.profile.setup_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    setup_start)
+          .count();
   if (!plan) return out;
 
   auto& src_stack = bed.stack_of(*plan->src);

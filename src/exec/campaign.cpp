@@ -6,6 +6,7 @@
 
 #include "core/runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace f2t::exec {
 
@@ -36,6 +37,8 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   }
   knobs.config.ospf.throttle.initial_delay = sim::millis(spec.spf_ms);
   knobs.config.seed = shard.seed;
+  knobs.config.observe = spec.trace;
+  knobs.config.sample_interval = sim::millis(spec.sample_interval_ms);
   knobs.fault.kind = spec.fault;
   knobs.fault.gray_loss = spec.gray_loss;
   knobs.fault.flap_period = sim::millis(spec.flap_period_ms);
@@ -69,6 +72,24 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   r.events_executed = run.observation.profile.events_executed;
   r.wall_seconds = run.observation.profile.wall_seconds;
   r.scenario = run.scenario;
+  if (spec.trace && run.observation.enabled) {
+    const obs::SpanTrace trace(run.observation.events,
+                               run.observation.profile);
+    r.spans = trace.spans().size();
+    const auto& failures = trace.timeline().failures();
+    if (!failures.empty()) {
+      const obs::FailureRecovery& f = failures.front();
+      r.detect_ns = f.detected() ? f.time_to_detect() : -1;
+      r.converge_ns = f.converged() ? f.time_to_converge() : -1;
+    }
+  }
+  if (spec.sample_interval_ms > 0 && run.observation.samples.enabled) {
+    r.samples = run.observation.samples.rows.size();
+    const auto rollup =
+        run.observation.samples.rollup_of("net.queue_depth");
+    r.queue_p99 = rollup.p99;
+    r.queue_max = rollup.max;
+  }
   return r;
 }
 
@@ -93,6 +114,7 @@ core::CampaignResult run_campaign(const core::CampaignSpec& spec,
     // this shard's result instead. The record is deterministic — identity
     // comes from the ShardSpec and the message from the spec-dependent
     // exception, not from scheduling.
+    if (options.on_shard_start) options.on_shard_start(shards[i]);
     try {
       result.runs[i] = run_shard(spec, shards[i]);
     } catch (const std::exception& e) {

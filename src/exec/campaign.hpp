@@ -21,6 +21,11 @@ struct CampaignOptions {
   /// Optional progress hook, invoked after each shard completes (from the
   /// worker thread that ran it — must be thread-safe if jobs > 1).
   std::function<void(const core::ShardResult&)> on_result;
+  /// Optional heartbeat, invoked just before each shard starts running
+  /// (same threading caveat). With on_result this gives the CLI a live
+  /// started/finished view of long campaigns — a stuck shard shows up as
+  /// a started-but-never-finished index instead of silent stall.
+  std::function<void(const core::ShardSpec&)> on_shard_start;
 };
 
 /// Runs one shard in isolation — also the reproduction path: re-running

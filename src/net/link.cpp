@@ -57,6 +57,7 @@ void Link::set_channel_up(Channel& ch, bool up) {
     // Physical cut: everything queued or serialized in this direction
     // is lost.
     dropped_down_ += ch.queue.size();
+    ch.dropped_wire += ch.queue.size();
     if (drop_hook_) {
       for (const Packet& p : ch.queue.contents()) {
         drop_hook_(p, DropKind::kDown);
@@ -90,6 +91,7 @@ void Link::transmit(const Node& from, Packet packet) {
     // The sender has not yet detected the failure; the packet is lost on
     // the wire. This is the window the paper's fast reroute shrinks.
     ++dropped_down_;
+    ++ch.dropped_wire;
     if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     return;
   }
@@ -124,6 +126,7 @@ void Link::start_next(Channel& ch, const End& to) {
       // The direction was cut and the channel reset; the packet is lost
       // mid-serialization.
       ++dropped_down_;
+      ++ch.dropped_wire;
       if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     }
   });
@@ -146,15 +149,18 @@ void Link::deliver(Channel& ch, const End& to, Packet packet,
                    std::uint64_t epoch) {
   if (epoch != ch.epoch || !ch.up) {
     ++dropped_down_;  // cut while propagating
+    ++ch.dropped_wire;
     if (drop_hook_) drop_hook_(packet, DropKind::kDown);
     return;
   }
   if (ch.loss_rate > 0.0 && ch.loss_rng->chance(ch.loss_rate)) {
     ++dropped_gray_;  // silent gray-failure loss: nobody detects this
+    ++ch.dropped_wire;
     if (drop_hook_) drop_hook_(packet, DropKind::kGray);
     return;
   }
   ++delivered_;
+  ch.delivered_bytes += packet.size_bytes;
   ++packet.hops;
   to.node->receive(to.port, std::move(packet));
 }

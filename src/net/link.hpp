@@ -124,6 +124,24 @@ class Link {
   std::uint64_t queue_marked() const;
   std::size_t queue_depth() const;
 
+  /// Per-direction telemetry counters for the periodic sampler
+  /// (obs/sampler.hpp): bytes successfully delivered (utilization =
+  /// delivered-bit rate over bandwidth), wire drops (down + gray), tail
+  /// drops, and instantaneous queue depth. All are maintained on paths
+  /// the link already counts, so they add no fast-path work.
+  std::uint64_t delivered_bytes(Direction d) const {
+    return channel(d).delivered_bytes;
+  }
+  std::uint64_t dropped_wire(Direction d) const {
+    return channel(d).dropped_wire;
+  }
+  std::uint64_t queue_dropped(Direction d) const {
+    return channel(d).queue.dropped();
+  }
+  std::size_t queue_depth(Direction d) const {
+    return channel(d).queue.size();
+  }
+
  private:
   struct Channel {
     DropTailQueue queue;
@@ -132,12 +150,17 @@ class Link {
     std::uint64_t epoch = 0;  ///< bumped on every state change
     double loss_rate = 0.0;   ///< gray-failure drop probability
     sim::Random* loss_rng = nullptr;
+    std::uint64_t delivered_bytes = 0;  ///< payload bytes handed to the peer
+    std::uint64_t dropped_wire = 0;     ///< down + gray drops, this direction
 
     explicit Channel(std::size_t capacity) : queue(capacity) {}
   };
 
   Channel& channel_from(const Node& from);
   Channel& channel(Direction d) {
+    return d == Direction::kAToB ? a_to_b_ : b_to_a_;
+  }
+  const Channel& channel(Direction d) const {
     return d == Direction::kAToB ? a_to_b_ : b_to_a_;
   }
   void set_channel_up(Channel& ch, bool up);

@@ -128,6 +128,9 @@ void attach_journal(sim::Simulator& sim, routing::Ospf& ospf,
       case routing::Ospf::ObsEvent::kSpfRun:
         e.type = EventType::kSpfRun;
         break;
+      case routing::Ospf::ObsEvent::kSpfRunIncremental:
+        e.type = EventType::kSpfRunIncremental;
+        break;
       case routing::Ospf::ObsEvent::kFibInstall:
         e.type = EventType::kFibInstall;
         break;
@@ -249,6 +252,19 @@ void register_metrics(MetricsRegistry& registry, net::Network& network) {
 void register_metrics(MetricsRegistry& registry, sim::Simulator& sim) {
   registry.register_probe("sim.events_executed", [&sim]() {
     return static_cast<double>(sim.scheduler().executed_count());
+  });
+  registry.register_probe("sim.calendar.rebuilds", [&sim]() {
+    return static_cast<double>(sim.scheduler().queue_stats().rebuilds());
+  });
+  registry.register_probe("sim.calendar.far_jumps", [&sim]() {
+    return static_cast<double>(sim.scheduler().queue_stats().far_jumps);
+  });
+  registry.register_probe("sim.calendar.max_bucket_depth", [&sim]() {
+    return static_cast<double>(
+        sim.scheduler().queue_stats().max_bucket_depth);
+  });
+  registry.register_probe("sim.calendar.buckets", [&sim]() {
+    return static_cast<double>(sim.scheduler().queue_stats().bucket_count);
   });
 }
 

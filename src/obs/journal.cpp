@@ -11,6 +11,7 @@ const char* event_type_name(EventType type) {
     case EventType::kLsaOriginated: return "lsa_originated";
     case EventType::kLsaAccepted: return "lsa_accepted";
     case EventType::kSpfRun: return "spf_run";
+    case EventType::kSpfRunIncremental: return "spf_run_incremental";
     case EventType::kFibInstall: return "fib_install";
     case EventType::kBackupActivated: return "backup_activated";
     case EventType::kControllerPush: return "controller_push";
@@ -55,10 +56,12 @@ void write_event_json(std::ostream& os, const Event& e) {
   os << "}";
 }
 
-void write_events_jsonl(std::ostream& os, const std::vector<Event>& events) {
+void write_events_jsonl(std::ostream& os, const std::vector<Event>& events,
+                        std::uint64_t dropped) {
   os << "{\"schema_version\": " << EventJournal::kSchemaVersion
-     << ", \"stream\": \"f2t-events\", \"events\": " << events.size()
-     << "}\n";
+     << ", \"stream\": \"f2t-events\", \"events\": " << events.size();
+  if (dropped > 0) os << ", \"dropped\": " << dropped;
+  os << "}\n";
   for (const Event& e : events) {
     write_event_json(os, e);
     os << "\n";

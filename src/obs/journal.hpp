@@ -22,6 +22,7 @@ enum class EventType : std::uint8_t {
   kLsaOriginated,
   kLsaAccepted,
   kSpfRun,
+  kSpfRunIncremental,  ///< SPF served by the incremental subtree repair
   kFibInstall,
   kBackupActivated,
   kControllerPush,
@@ -34,6 +35,13 @@ enum class EventType : std::uint8_t {
   kBfdSuppress,  ///< flap dampening holds the port detected-down
   kBfdReuse,     ///< penalty decayed below reuse; session state restored
 };
+
+/// One past the last EventType value. Keep in sync when adding event
+/// types; tests/test_observability.cpp iterates [0, kEventTypeCount) and
+/// fails if any value lacks a distinct event_type_name — the guard that
+/// a new type cannot ship nameless.
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kBfdReuse) + 1;
 
 const char* event_type_name(EventType type);
 
@@ -70,8 +78,11 @@ void write_event_json(std::ostream& os, const Event& e);
 
 /// Writes a schema-versioned JSONL stream: a header line
 /// {"schema_version":1,"stream":"f2t-events","events":N} followed by one
-/// JSON object per event.
-void write_events_jsonl(std::ostream& os, const std::vector<Event>& events);
+/// JSON object per event. When `dropped` is non-zero (journal overflow)
+/// the header additionally carries "dropped":D — absent otherwise, so
+/// pre-existing artifacts stay byte-identical.
+void write_events_jsonl(std::ostream& os, const std::vector<Event>& events,
+                        std::uint64_t dropped = 0);
 
 /// Structured event journal: a flat, append-only record stream.
 ///
@@ -79,24 +90,55 @@ void write_events_jsonl(std::ostream& os, const std::vector<Event>& events);
 /// routing/ are only attached when a journal exists (see obs/attach.hpp),
 /// so a run without observability pays nothing — not even a branch on the
 /// forwarding fast path.
+///
+/// The journal is bounded: once `capacity()` events are stored, further
+/// records are counted in dropped() and discarded, so a large packet run
+/// (k=48 with per-packet delivery events) cannot grow memory without
+/// limit. The default bound (1M events, 40 bytes each) comfortably holds
+/// every paper experiment; overflow is surfaced as the
+/// `journal.dropped_events` metric and a "dropped" key in the JSONL
+/// header rather than silently truncating.
 class EventJournal {
  public:
   static constexpr int kSchemaVersion = 1;
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
 
-  void record(const Event& e) { events_.push_back(e); }
+  void record(const Event& e) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
 
   const std::vector<Event>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
 
-  /// Drops accumulated events (e.g. between experiment phases).
-  void clear() { events_.clear(); }
+  /// Maximum number of retained events; records past it are dropped and
+  /// counted. Lowering the capacity below the current size keeps the
+  /// already-recorded prefix (the earliest events — the ones the
+  /// recovery timeline needs most).
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+
+  /// Events discarded because the journal was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Drops accumulated events and the overflow count (e.g. between
+  /// experiment phases).
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   void write_jsonl(std::ostream& os) const {
-    write_events_jsonl(os, events_);
+    write_events_jsonl(os, events_, dropped_);
   }
 
  private:
   std::vector<Event> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace f2t::obs

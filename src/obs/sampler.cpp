@@ -1,0 +1,223 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+
+namespace f2t::obs {
+
+namespace {
+
+/// Deterministic double formatting shared with the campaign artifacts:
+/// shortest round-trippable-enough form at 10 significant digits, NaN/Inf
+/// clamped to 0 (JSON has neither).
+std::string fmt(double v) {
+  if (!std::isfinite(v) || v == 0) return "0";
+  std::ostringstream os;
+  os << std::setprecision(10) << v;
+  return os.str();
+}
+
+/// Nearest-rank percentile over an already-sorted vector.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+std::vector<SamplerReport::Rollup> SamplerReport::rollups() const {
+  std::vector<Rollup> out;
+  if (rows.empty()) return out;
+  out.reserve(series.size());
+  std::vector<double> column;
+  column.reserve(rows.size());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    column.clear();
+    for (const Row& row : rows) column.push_back(row.values[s]);
+    std::sort(column.begin(), column.end());
+    Rollup r;
+    r.name = series[s];
+    r.p50 = percentile_sorted(column, 0.50);
+    r.p99 = percentile_sorted(column, 0.99);
+    r.max = column.back();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+SamplerReport::Rollup SamplerReport::rollup_of(const std::string& name) const {
+  for (const Rollup& r : rollups()) {
+    if (r.name == name) return r;
+  }
+  return {};
+}
+
+void SamplerReport::write_jsonl(std::ostream& os) const {
+  os << "{\"schema_version\": " << kSchemaVersion
+     << ", \"stream\": \"f2t-samples\", \"interval_ns\": " << interval
+     << ", \"series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << series[i] << "\"";
+  }
+  os << "], \"rows\": " << rows.size()
+     << ", \"dropped_rows\": " << dropped_rows << "}\n";
+  for (const Row& row : rows) {
+    os << "{\"at\": " << row.at << ", \"v\": [";
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << fmt(row.values[i]);
+    }
+    os << "]}\n";
+  }
+  os << "{\"rollups\": [";
+  const auto rolled = rollups();
+  for (std::size_t i = 0; i < rolled.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"name\": \"" << rolled[i].name << "\", \"p50\": "
+       << fmt(rolled[i].p50) << ", \"p99\": " << fmt(rolled[i].p99)
+       << ", \"max\": " << fmt(rolled[i].max) << "}";
+  }
+  os << "]}\n";
+}
+
+TelemetrySampler::TelemetrySampler(sim::Simulator& sim,
+                                   const SamplerConfig& config)
+    : sim_(sim), config_(config) {
+  if (config_.interval <= 0) {
+    throw std::invalid_argument("TelemetrySampler: interval must be > 0");
+  }
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("TelemetrySampler: capacity must be > 0");
+  }
+}
+
+void TelemetrySampler::add_gauge(std::string name,
+                                 std::function<double()> probe) {
+  if (ticks_ > 0) {
+    throw std::logic_error(
+        "TelemetrySampler: sources are fixed once sampling has ticked");
+  }
+  if (!probe) throw std::invalid_argument("TelemetrySampler: null probe");
+  sources_.push_back({std::move(name), std::move(probe), false, 1.0, 0});
+}
+
+void TelemetrySampler::add_rate(std::string name,
+                                std::function<double()> probe, double scale) {
+  if (ticks_ > 0) {
+    throw std::logic_error(
+        "TelemetrySampler: sources are fixed once sampling has ticked");
+  }
+  if (!probe) throw std::invalid_argument("TelemetrySampler: null probe");
+  Source s{std::move(name), std::move(probe), true, scale, 0};
+  s.last = s.probe();  // rate baseline: the value at registration
+  sources_.push_back(std::move(s));
+}
+
+void TelemetrySampler::start() {
+  if (started_) return;
+  started_ = true;
+  last_tick_at_ = sim_.now();
+  pending_ = sim_.after(config_.interval, [this] { tick(); });
+}
+
+void TelemetrySampler::stop() {
+  if (pending_ != sim::kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+  started_ = false;
+}
+
+void TelemetrySampler::tick() {
+  const sim::Time now = sim_.now();
+  const double dt = sim::to_seconds(now - last_tick_at_);
+  SamplerReport::Row row;
+  row.at = now;
+  row.values.reserve(sources_.size());
+  for (Source& s : sources_) {
+    const double v = s.probe();
+    if (s.rate) {
+      row.values.push_back(dt > 0 ? s.scale * (v - s.last) / dt : 0);
+      s.last = v;
+    } else {
+      row.values.push_back(v);
+    }
+  }
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(row));
+  } else {
+    ring_[head_] = std::move(row);
+    head_ = (head_ + 1) % config_.capacity;
+    ++dropped_;
+  }
+  ++ticks_;
+  last_tick_at_ = now;
+  pending_ = sim_.after(config_.interval, [this] { tick(); });
+}
+
+SamplerReport TelemetrySampler::report() const {
+  SamplerReport out;
+  out.enabled = true;
+  out.interval = config_.interval;
+  out.series.reserve(sources_.size());
+  for (const Source& s : sources_) out.series.push_back(s.name);
+  out.rows.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.rows.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  out.dropped_rows = dropped_;
+  return out;
+}
+
+void attach_telemetry(TelemetrySampler& sampler, sim::Simulator& sim,
+                      net::Network& network) {
+  for (net::Link* link : network.links()) {
+    const std::string base = "link" + std::to_string(link->id());
+    const double bandwidth = link->params().bandwidth_bps;
+    for (const auto& [dir, tag] :
+         {std::pair{net::Link::Direction::kAToB, ".ab"},
+          std::pair{net::Link::Direction::kBToA, ".ba"}}) {
+      sampler.add_gauge(base + tag + ".qdepth", [link, dir = dir] {
+        return static_cast<double>(link->queue_depth(dir));
+      });
+      // Utilization: delivered bits over capacity for the elapsed tick.
+      sampler.add_rate(
+          base + tag + ".util",
+          [link, dir = dir] {
+            return static_cast<double>(link->delivered_bytes(dir));
+          },
+          8.0 / bandwidth);
+      sampler.add_rate(base + tag + ".drops", [link, dir = dir] {
+        return static_cast<double>(link->dropped_wire(dir) +
+                                   link->queue_dropped(dir));
+      });
+    }
+  }
+  sampler.add_gauge("net.queue_depth", [&network] {
+    std::uint64_t total = 0;
+    for (net::Link* link : network.links()) total += link->queue_depth();
+    return static_cast<double>(total);
+  });
+  sampler.add_rate("net.drop_rate", [&network] {
+    std::uint64_t total = 0;
+    for (net::Link* link : network.links()) {
+      total += link->dropped_down() + link->dropped_gray() +
+               link->dropped_queue();
+    }
+    return static_cast<double>(total);
+  });
+  sampler.add_rate("sim.event_rate", [&sim] {
+    return static_cast<double>(sim.scheduler().executed_count());
+  });
+}
+
+}  // namespace f2t::obs

@@ -5,15 +5,25 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sim/event_queue.hpp"
 
 namespace f2t::obs {
 
 /// Engine self-profiling for one run: how much discrete-event work the
-/// simulation did and how fast the host executed it.
+/// simulation did, how fast the host executed it, where the wall clock
+/// went (setup vs the event loop vs collection), and how the calendar
+/// queue behaved (geometry churn, pile-up depth).
 struct EngineProfile {
   std::size_t events_executed = 0;
-  double wall_seconds = 0;
+  double wall_seconds = 0;  ///< the event loop only
   double sim_seconds = 0;
+  /// Wall clock outside the event loop: topology build + convergence
+  /// (setup) and post-run metric/arrival collection (collect). Filled by
+  /// the runner; zero when the caller drives the Testbed directly.
+  double setup_wall_seconds = 0;
+  double collect_wall_seconds = 0;
+  sim::CalendarStats queue;  ///< scheduler calendar-queue self-profile
 
   double events_per_wall_second() const {
     return wall_seconds > 0 ? static_cast<double>(events_executed) /
@@ -28,11 +38,16 @@ struct EngineProfile {
 /// Everything one observed run exports: a metrics snapshot taken at the
 /// horizon, the full event journal, and the engine profile. Copied out of
 /// the Testbed by the runner so results outlive the simulation.
+///
+/// `samples` is populated independently of `enabled`: periodic sampling
+/// (TestbedConfig::sample_interval) is its own opt-in and does not
+/// require the journal/metrics machinery.
 struct RunObservation {
   bool enabled = false;
   MetricsSnapshot metrics;
   std::vector<Event> events;
   EngineProfile profile;
+  SamplerReport samples;
 };
 
 /// One failure episode reconstructed from the journal: all links that

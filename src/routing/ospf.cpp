@@ -83,8 +83,14 @@ void Ospf::install_routes(std::vector<Route> routes) {
 
 void Ospf::run_spf_now() {
   ++counters_.spf_runs;
-  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
-  install_routes(compute_routes());
+  auto routes = compute_routes();
+  // The hook fires after the solver ran so the event can say whether the
+  // incremental repair served this run.
+  if (obs_hook_) {
+    obs_hook_(solver_.last_run_incremental() ? ObsEvent::kSpfRunIncremental
+                                             : ObsEvent::kSpfRun);
+  }
+  install_routes(std::move(routes));
 }
 
 std::vector<LocalAdjacency> Ospf::live_adjacency() const {
@@ -158,8 +164,11 @@ void Ospf::run_spf_and_schedule_install() {
   auto& sim = sw_.simulator();
   throttle_.ran(sim.now());
   ++counters_.spf_runs;
-  if (obs_hook_) obs_hook_(ObsEvent::kSpfRun);
   auto routes = compute_routes();
+  if (obs_hook_) {
+    obs_hook_(solver_.last_run_incremental() ? ObsEvent::kSpfRunIncremental
+                                             : ObsEvent::kSpfRun);
+  }
   // Model the SPF computation cost (grows with the LSDB) plus the
   // RIB->FIB download delay: the data plane keeps using the old entries
   // (and the static backups) until the install completes. The install

@@ -58,8 +58,17 @@ class Ospf {
 
   /// Protocol milestones surfaced to the observability layer. Fired at the
   /// sim time the milestone happens (e.g. kFibInstall only after the
-  /// FIB-update delay elapsed and the routes are live).
-  enum class ObsEvent { kLsaOriginated, kLsaAccepted, kSpfRun, kFibInstall };
+  /// FIB-update delay elapsed and the routes are live). SPF runs report
+  /// which solver path served them — kSpfRun for a full Dijkstra,
+  /// kSpfRunIncremental when the incremental subtree repair applied — so
+  /// the span tracer can attribute recovery latency to the solver mode.
+  enum class ObsEvent {
+    kLsaOriginated,
+    kLsaAccepted,
+    kSpfRun,
+    kSpfRunIncremental,
+    kFibInstall,
+  };
   using ObsHook = std::function<void(ObsEvent)>;
 
   Ospf(net::L3Switch& sw, const OspfConfig& config = {});

@@ -32,13 +32,19 @@ void CalendarQueue::push(EventKey key) {
   bucket.heap.push_back(key);
   std::push_heap(bucket.heap.begin(), bucket.heap.end(), std::greater<>{});
   ++size_;
+  if (bucket.heap.size() > stats_.max_bucket_depth) {
+    stats_.max_bucket_depth = bucket.heap.size();
+  }
   if (min_valid_) {
     // A key below the cached minimum is the new minimum and, having just
     // been sifted up, sits at the front of its own bucket.
     const EventKey& cached = buckets_[min_bucket_].heap.front();
     if (key < cached) min_bucket_ = index_of(key.at);
   }
-  if (size_ > 2 * buckets_.size()) rebuild(2 * buckets_.size());
+  if (size_ > 2 * buckets_.size()) {
+    ++stats_.grows;
+    rebuild(2 * buckets_.size());
+  }
 }
 
 const EventKey* CalendarQueue::peek() {
@@ -67,6 +73,7 @@ EventKey CalendarQueue::pop() {
       (static_cast<std::uint64_t>(heap.front().at) >> shift_) ==
           (static_cast<std::uint64_t>(key.at) >> shift_);
   if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+    ++stats_.shrinks;
     rebuild(buckets_.size() / 2);
   }
   return key;
@@ -97,6 +104,7 @@ std::size_t CalendarQueue::locate_min() {
       best = i;
     }
   }
+  ++stats_.far_jumps;
   cursor_ = buckets_[best].heap.front().at;
   return best;
 }

@@ -9,6 +9,21 @@
 
 namespace f2t::sim {
 
+/// Calendar-queue self-profile: geometry churn and pile-up depth. All
+/// counters are cumulative over the queue's lifetime and cost O(1) to
+/// maintain (a compare on push, an increment at each rebuild call site),
+/// so they are always on — the observability layer merely reads them.
+struct CalendarStats {
+  std::uint64_t grows = 0;      ///< rebuilds that doubled the bucket count
+  std::uint64_t shrinks = 0;    ///< rebuilds that halved the bucket count
+  std::uint64_t far_jumps = 0;  ///< cursor jumps past an empty calendar year
+  std::size_t max_bucket_depth = 0;  ///< worst same-day pile-up seen
+  std::size_t bucket_count = 0;      ///< current geometry
+  int width_log2 = 0;                ///< current day width (2^w ns)
+
+  std::uint64_t rebuilds() const { return grows + shrinks; }
+};
+
 /// Ordering key of a scheduled event. Min-ordering is (at, id): earliest
 /// time first, then earliest id — FIFO among same-timestamp events, which
 /// is what keeps two runs with the same inputs executing events in the
@@ -90,6 +105,15 @@ class CalendarQueue {
   std::size_t bucket_count() const { return buckets_.size(); }
   int width_log2() const { return shift_; }
 
+  /// Lifetime self-profile (geometry churn, pile-up depth, far jumps)
+  /// plus the current geometry. See CalendarStats.
+  CalendarStats stats() const {
+    CalendarStats s = stats_;
+    s.bucket_count = buckets_.size();
+    s.width_log2 = shift_;
+    return s;
+  }
+
  private:
   struct Bucket {
     std::vector<EventKey> heap;  // min-heap via std::*_heap with greater
@@ -108,6 +132,7 @@ class CalendarQueue {
   std::size_t size_ = 0;
   std::size_t min_bucket_ = 0;
   bool min_valid_ = false;
+  CalendarStats stats_;  ///< bucket_count/width_log2 filled by stats()
 };
 
 }  // namespace f2t::sim

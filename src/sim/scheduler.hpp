@@ -58,6 +58,10 @@ class Scheduler {
 
   std::size_t executed_count() const { return executed_; }
 
+  /// The calendar queue's self-profile (geometry churn, pile-up depth);
+  /// see sim::CalendarStats. Always maintained, read on demand.
+  CalendarStats queue_stats() const { return queue_.stats(); }
+
   /// Number of cancelled ids still awaiting lazy removal from the heap;
   /// bounded by the heap size (tests assert no tombstone growth).
   std::size_t cancelled_backlog() const { return cancelled_.size(); }

@@ -1,3 +1,4 @@
+#include <atomic>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -187,6 +188,43 @@ TEST(CampaignSpec, RejectsBadDetectionAndFaultValues) {
                std::invalid_argument);
 }
 
+TEST(CampaignSpec, ParsesObservabilityKnobsAndOmitsDefaults) {
+  // Defaults: no trace, no sampling — and crucially the keys must not
+  // appear in the canonical echo, so artifacts recorded before these
+  // knobs existed stay byte-identical.
+  const auto plain = core::CampaignSpec::parse(kSpecText);
+  EXPECT_FALSE(plain.trace);
+  EXPECT_EQ(plain.sample_interval_ms, 0);
+  std::ostringstream os0;
+  plain.write_json(os0);
+  EXPECT_EQ(os0.str().find("\"trace\""), std::string::npos);
+  EXPECT_EQ(os0.str().find("\"sample_interval_ms\""), std::string::npos);
+
+  const auto spec = core::CampaignSpec::parse(R"({
+    "topologies": [{"name": "f2", "ports": 4}],
+    "conditions": ["C1"],
+    "trace": true,
+    "sample_interval_ms": 5
+  })");
+  EXPECT_TRUE(spec.trace);
+  EXPECT_EQ(spec.sample_interval_ms, 5);
+  std::ostringstream os;
+  spec.write_json(os);
+  EXPECT_NE(os.str().find("\"trace\": true"), std::string::npos);
+  EXPECT_NE(os.str().find("\"sample_interval_ms\": 5"), std::string::npos);
+  const auto again = core::CampaignSpec::parse(os.str());
+  EXPECT_TRUE(again.trace);
+  EXPECT_EQ(again.sample_interval_ms, 5);
+  std::ostringstream os2;
+  again.write_json(os2);
+  EXPECT_EQ(os.str(), os2.str());
+
+  EXPECT_THROW(core::CampaignSpec::parse(
+                   R"({"topologies": [{"name": "f2", "ports": 4}],
+                       "conditions": ["C1"], "sample_interval_ms": -1})"),
+               std::invalid_argument);
+}
+
 TEST(CampaignSpec, EnumerateShardsIsDeterministic) {
   const auto spec = core::CampaignSpec::parse(kSpecText);
   const auto shards = core::enumerate_shards(spec);
@@ -331,6 +369,46 @@ TEST(CampaignRun, SuccessfulRunRecordsCarryNoErrorField) {
   std::ostringstream os;
   result.write_json(os, /*include_profile=*/false);
   EXPECT_EQ(os.str().find("\"error\""), std::string::npos);
+  // And no observability fields either: the spec did not ask for them.
+  EXPECT_EQ(os.str().find("\"spans\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"samples\""), std::string::npos);
+}
+
+TEST(CampaignRun, TracedShardsRecordSpansAndMilestones) {
+  auto spec = tiny_spec();
+  spec.trace = true;
+  spec.sample_interval_ms = 5;
+  exec::CampaignOptions options;
+  options.jobs = 2;
+  std::atomic<int> started{0};
+  options.on_shard_start = [&started](const core::ShardSpec&) {
+    started.fetch_add(1, std::memory_order_relaxed);
+  };
+  const auto result = exec::run_campaign(spec, options);
+  EXPECT_EQ(started.load(), static_cast<int>(result.runs.size()));
+  for (const auto& run : result.runs) {
+    ASSERT_TRUE(run.ok);
+    EXPECT_GT(run.spans, 0u);
+    EXPECT_GT(run.samples, 0u);
+    if (run.on_path) {
+      EXPECT_GT(run.detect_ns, 0);
+      EXPECT_GT(run.converge_ns, run.detect_ns);
+    }
+  }
+  std::ostringstream os;
+  result.write_json(os, /*include_profile=*/false);
+  EXPECT_NE(os.str().find("\"spans\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"detect_ns\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"samples\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"queue_p99\""), std::string::npos);
+
+  // Still byte-identical across job counts with observability on.
+  exec::CampaignOptions serial;
+  serial.jobs = 1;
+  const auto r1 = exec::run_campaign(spec, serial);
+  std::ostringstream os1;
+  r1.write_json(os1, /*include_profile=*/false);
+  EXPECT_EQ(os.str(), os1.str());
 }
 
 }  // namespace

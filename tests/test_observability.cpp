@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 #include "core/f2tree.hpp"
@@ -103,6 +104,55 @@ TEST(Journal, RecordsAndSerializesJsonl) {
 
   journal.clear();
   EXPECT_EQ(journal.size(), 0u);
+}
+
+TEST(Journal, BoundedCapacityDropsAndCounts) {
+  obs::EventJournal journal;
+  EXPECT_EQ(journal.capacity(), obs::EventJournal::kDefaultCapacity);
+  journal.set_capacity(2);
+  obs::Event e;
+  e.type = obs::EventType::kPacketDelivered;
+  for (int i = 0; i < 5; ++i) {
+    e.at = sim::millis(i);
+    journal.record(e);
+  }
+  // The earliest records are kept (the ones the timeline needs), the
+  // overflow is counted instead of silently truncated.
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.dropped(), 3u);
+  EXPECT_EQ(journal.events().back().at, sim::millis(1));
+
+  std::ostringstream os;
+  journal.write_jsonl(os);
+  EXPECT_NE(os.str().find("\"dropped\": 3"), std::string::npos);
+
+  // An unbounded-in-practice journal never emits the key: pre-existing
+  // artifacts stay byte-identical.
+  obs::EventJournal calm;
+  calm.record(e);
+  std::ostringstream os2;
+  calm.write_jsonl(os2);
+  EXPECT_EQ(os2.str().find("\"dropped\""), std::string::npos);
+
+  journal.clear();
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
+TEST(Journal, EveryEventTypeHasADistinctName) {
+  // Guard for new EventType values: event_type_name must cover the whole
+  // enum with unique, non-placeholder names (the JSONL schema keys on
+  // them). Fails when someone appends a type without a name, or forgets
+  // to bump kEventTypeCount.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < obs::kEventTypeCount; ++i) {
+    const char* name =
+        obs::event_type_name(static_cast<obs::EventType>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "EventType value " << i << " lacks a name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate event_type_name: " << name;
+  }
+  EXPECT_EQ(names.size(), obs::kEventTypeCount);
 }
 
 // --------------------------------------------------------------- timeline
@@ -312,6 +362,20 @@ TEST(Observability, TimelineMatchesConnectivityLossMeasurement) {
   EXPECT_GE(r.observation.metrics.value_of("link.dropped_down"),
             static_cast<double>(f.packets_lost));
   ASSERT_FALSE(r.observation.metrics.histograms.empty());
+}
+
+TEST(Observability, JournalOverflowSurfacesAsMetric) {
+  // A deliberately tiny journal on a packet run overflows; the overflow
+  // is visible as the journal.dropped_events probe instead of vanishing.
+  core::RunKnobs knobs;
+  knobs.config.observe = true;
+  knobs.config.journal_capacity = 64;
+  const auto builder = core::topology_builder("f2", 4);
+  const auto r =
+      core::run_udp_condition(builder, failure::Condition::kC1, knobs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.observation.events.size(), 64u);
+  EXPECT_GT(r.observation.metrics.value_of("journal.dropped_events"), 0.0);
 }
 
 TEST(Observability, JournalCoversControlPlaneMilestones) {

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/f2tree.hpp"
+#include "core/runner.hpp"
+#include "obs/timeline.hpp"
+
+namespace f2t {
+namespace {
+
+// S3 regression: the RecoveryTimeline must be derivable under flow
+// fidelity (the fluid probe's finalized arrivals are journaled as
+// delivery events) and agree with packet fidelity on the control-plane
+// milestones of a C1 single cut.
+//
+// Scope: C1 on the fat-tree (and F²Tree) with oracle detection. The
+// loop-regime carve-out applies as everywhere in the fluid transport:
+// on f2 under C7 (and any scenario whose interim routing state loops),
+// the probe refuses to classify the looping window, so the flow-mode
+// delivery stream — and hence the gap — is undefined there. Those
+// scenarios stay packet-fidelity-only; see transport/fluid.hpp.
+
+obs::FailureRecovery first_failure(const core::UdpRun& r) {
+  const obs::RecoveryTimeline timeline(r.observation.events);
+  EXPECT_EQ(timeline.failures().size(), 1u);
+  return timeline.failures().front();
+}
+
+core::UdpRun run_c1(const char* topo, core::ControlPlane control,
+                    core::Fidelity fidelity) {
+  core::RunKnobs knobs;
+  knobs.config.observe = true;
+  knobs.config.control_plane = control;
+  knobs.fidelity = fidelity;
+  const auto builder = core::topology_builder(topo, 4);
+  return core::run_udp_condition(builder, failure::Condition::kC1, knobs);
+}
+
+TEST(TimelineFidelity, FlowModeReproducesOspfMilestonesOnFatTree) {
+  const auto pkt =
+      run_c1("fat", core::ControlPlane::kOspf, core::Fidelity::kPacket);
+  const auto flow =
+      run_c1("fat", core::ControlPlane::kOspf, core::Fidelity::kFlow);
+  ASSERT_TRUE(pkt.ok);
+  ASSERT_TRUE(flow.ok);
+  ASSERT_FALSE(flow.observation.events.empty());
+
+  const auto fp = first_failure(pkt);
+  const auto ff = first_failure(flow);
+  EXPECT_EQ(ff.failed_at, fp.failed_at);
+  EXPECT_EQ(ff.links, fp.links);
+  // Oracle detection fires at failed_at + down_delay in both fidelities.
+  ASSERT_TRUE(fp.detected());
+  ASSERT_TRUE(ff.detected());
+  EXPECT_EQ(ff.detected_at, fp.detected_at);
+  // The control plane is identical machinery in both modes; data packets
+  // do not contend with control traffic here, so convergence matches
+  // exactly.
+  ASSERT_TRUE(fp.converged());
+  ASSERT_TRUE(ff.converged());
+  EXPECT_EQ(ff.converged_at, fp.converged_at);
+  // The connectivity gap agrees to within one probe sending interval
+  // (packet mode quantizes the gap edges to packet departures; the fluid
+  // probe classifies the same regime windows continuously).
+  ASSERT_TRUE(fp.rerouted());
+  ASSERT_TRUE(ff.rerouted());
+  const sim::Time interval = sim::millis(1);
+  EXPECT_NEAR(static_cast<double>(ff.gap()),
+              static_cast<double>(fp.gap()),
+              static_cast<double>(interval));
+  // And both timelines agree with their own run's probe measurement by
+  // construction.
+  EXPECT_EQ(fp.gap(), pkt.connectivity_loss);
+  EXPECT_EQ(ff.gap(), flow.connectivity_loss);
+}
+
+TEST(TimelineFidelity, FlowModeReproducesCentralMilestonesOnF2Tree) {
+  const auto pkt =
+      run_c1("f2", core::ControlPlane::kCentral, core::Fidelity::kPacket);
+  const auto flow =
+      run_c1("f2", core::ControlPlane::kCentral, core::Fidelity::kFlow);
+  ASSERT_TRUE(pkt.ok);
+  ASSERT_TRUE(flow.ok);
+
+  const auto fp = first_failure(pkt);
+  const auto ff = first_failure(flow);
+  EXPECT_EQ(ff.failed_at, fp.failed_at);
+  ASSERT_TRUE(fp.detected());
+  ASSERT_TRUE(ff.detected());
+  EXPECT_EQ(ff.detected_at, fp.detected_at);
+  ASSERT_TRUE(fp.converged());
+  ASSERT_TRUE(ff.converged());
+  EXPECT_EQ(ff.converged_at, fp.converged_at);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -26,6 +26,7 @@
 #include "core/f2tree.hpp"
 #include "core/runner.hpp"
 #include "exec/campaign.hpp"
+#include "obs/trace.hpp"
 #include "topo/graphviz.hpp"
 
 using namespace f2t;
@@ -46,6 +47,8 @@ int usage() {
       "           [--fidelity packet|flow]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
+      "           [--trace-out FILE] [--samples-out FILE]\n"
+      "           [--sample-interval-ms 10]\n"
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "  campaign --spec FILE [--jobs N] [--out FILE] [--no-profile]\n"
@@ -58,12 +61,18 @@ int usage() {
       "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
       "           [--flap-period-ms 300] [--flap-cycles 5]\n"
       "           [--fidelity packet|flow]\n"
+      "           [--trace] [--sample-interval-ms 10]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
       "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
       "--metrics-out/--events-out/--timeline enable observability: a\n"
       "schema-versioned metrics JSON, a JSONL event journal, and a\n"
       "reconstructed per-failure recovery timeline on stdout.\n"
+      "--trace-out writes a Chrome trace_event JSON of the causal recovery\n"
+      "span chain (open in chrome://tracing or ui.perfetto.dev);\n"
+      "--samples-out writes a JSONL telemetry time series sampled every\n"
+      "--sample-interval-ms of sim time (queue depths, link utilization,\n"
+      "drop rates) with p50/p99/max rollups on the last line.\n"
       "campaign shards the spec's failure matrix across --jobs worker\n"
       "threads; the JSON artifact (minus --no-profile) is byte-identical\n"
       "for any job count.\n";
@@ -129,31 +138,56 @@ void apply_detection_flags(core::Cli& cli, core::RunKnobs& knobs) {
   }
 }
 
+/// Export destinations for one observed run's artefacts.
+struct ExportPaths {
+  std::string metrics_out;
+  std::string events_out;
+  std::string trace_out;
+  std::string samples_out;
+  bool timeline = false;
+};
+
 /// Writes the observability artefacts of one observed run: metrics JSON,
-/// event-journal JSONL, and (on request) the reconstructed recovery
-/// timeline plus the engine profile on stdout.
-int export_observation(const obs::RunObservation& o,
-                       const std::string& metrics_out,
-                       const std::string& events_out, bool timeline) {
-  if (!o.enabled) return 0;
-  if (!metrics_out.empty()) {
-    std::ofstream out(metrics_out);
+/// event-journal JSONL, Chrome trace JSON, sampler JSONL, and (on
+/// request) the reconstructed recovery timeline plus the engine profile
+/// on stdout. Samples export does not require the event journal — the
+/// sampler is its own subsystem and may run with metrics observe off.
+int export_observation(const obs::RunObservation& o, const ExportPaths& p) {
+  if (!p.samples_out.empty()) {
+    std::ofstream out(p.samples_out);
     if (!out) {
-      std::cerr << "cannot write " << metrics_out << "\n";
+      std::cerr << "cannot write " << p.samples_out << "\n";
+      return 1;
+    }
+    o.samples.write_jsonl(out);
+  }
+  if (!o.enabled) return 0;
+  if (!p.metrics_out.empty()) {
+    std::ofstream out(p.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << p.metrics_out << "\n";
       return 1;
     }
     o.metrics.write_json(out);
     out << "\n";
   }
-  if (!events_out.empty()) {
-    std::ofstream out(events_out);
+  if (!p.events_out.empty()) {
+    std::ofstream out(p.events_out);
     if (!out) {
-      std::cerr << "cannot write " << events_out << "\n";
+      std::cerr << "cannot write " << p.events_out << "\n";
       return 1;
     }
     obs::write_events_jsonl(out, o.events);
   }
-  if (timeline) {
+  if (!p.trace_out.empty()) {
+    std::ofstream out(p.trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << p.trace_out << "\n";
+      return 1;
+    }
+    obs::SpanTrace(o.events, o.profile).write_chrome_trace(out);
+  }
+  if (p.timeline) {
     obs::RecoveryTimeline(o.events).print(std::cout);
     std::cout << "engine: " << o.profile.events_executed << " events, "
               << static_cast<std::uint64_t>(o.profile.events_per_wall_second())
@@ -170,9 +204,16 @@ int cmd_recover(core::Cli& cli) {
   const auto condition = parse_condition(cli.get("condition", "C1"));
   const std::string proto = cli.get("proto", "udp");
   const bool csv = cli.get_flag("csv");
-  const std::string metrics_out = cli.get("metrics-out", "");
-  const std::string events_out = cli.get("events-out", "");
-  const bool timeline = cli.get_flag("timeline");
+  ExportPaths paths;
+  paths.metrics_out = cli.get("metrics-out", "");
+  paths.events_out = cli.get("events-out", "");
+  paths.trace_out = cli.get("trace-out", "");
+  paths.samples_out = cli.get("samples-out", "");
+  paths.timeline = cli.get_flag("timeline");
+  const int sample_interval_ms = cli.get_int("sample-interval-ms", 10);
+  if (sample_interval_ms <= 0) {
+    throw std::invalid_argument("--sample-interval-ms must be > 0");
+  }
 
   core::RunKnobs knobs;
   knobs.config.control_plane = parse_control(cli.get("control", "ospf"));
@@ -184,8 +225,11 @@ int cmd_recover(core::Cli& cli) {
   knobs.config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   apply_detection_flags(cli, knobs);
   knobs.config.log_level = parse_log_level_option(cli);
-  knobs.config.observe =
-      timeline || !metrics_out.empty() || !events_out.empty();
+  knobs.config.observe = paths.timeline || !paths.metrics_out.empty() ||
+                         !paths.events_out.empty() || !paths.trace_out.empty();
+  if (!paths.samples_out.empty()) {
+    knobs.config.sample_interval = sim::millis(sample_interval_ms);
+  }
   if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << "\n";
     return usage();
@@ -204,10 +248,7 @@ int cmd_recover(core::Cli& cli) {
                sim::format_time(r.connectivity_loss)});
     table.row({"packets sent", std::to_string(r.packets_sent)});
     table.row({"packets lost", std::to_string(r.packets_lost)});
-    if (const int rc =
-            export_observation(r.observation, metrics_out, events_out,
-                               timeline);
-        rc != 0) {
+    if (const int rc = export_observation(r.observation, paths); rc != 0) {
       return rc;
     }
   } else if (proto == "tcp") {
@@ -218,10 +259,7 @@ int cmd_recover(core::Cli& cli) {
     }
     table.row({"throughput collapse", sim::format_time(r.collapse)});
     table.row({"rto fires", std::to_string(r.rto_fires)});
-    if (const int rc =
-            export_observation(r.observation, metrics_out, events_out,
-                               timeline);
-        rc != 0) {
+    if (const int rc = export_observation(r.observation, paths); rc != 0) {
       return rc;
     }
   } else {
@@ -340,6 +378,11 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
     throw std::invalid_argument("unknown fidelity: " + spec.fidelity +
                                 " (packet|flow)");
   }
+  spec.trace = cli.get_flag("trace");
+  spec.sample_interval_ms = cli.get_int("sample-interval-ms", 0);
+  if (spec.sample_interval_ms < 0) {
+    throw std::invalid_argument("--sample-interval-ms must be >= 0");
+  }
   if (spec.conditions.empty() && spec.link_sites == 0) {
     // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
     using failure::Condition;
@@ -376,12 +419,18 @@ int cmd_campaign(core::Cli& cli) {
 
   exec::CampaignOptions options;
   options.jobs = jobs;
+  std::atomic<int> started{0};
   std::atomic<int> done{0};
   const int total = static_cast<int>(core::enumerate_shards(spec).size());
-  options.on_result = [&done, total](const core::ShardResult&) {
+  options.on_shard_start = [&started](const core::ShardSpec&) {
+    started.fetch_add(1, std::memory_order_relaxed);
+  };
+  options.on_result = [&started, &done, total](const core::ShardResult&) {
     const int n = done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (n % 16 == 0 || n == total) {
-      std::cerr << "\r" << n << "/" << total << " shards" << std::flush;
+      std::cerr << "\r" << n << "/" << total << " shards done, "
+                << started.load(std::memory_order_relaxed) << " started"
+                << std::flush;
     }
   };
   const auto result = exec::run_campaign(spec, options);
