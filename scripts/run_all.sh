@@ -285,6 +285,121 @@ else
   fail=1
 fi
 
+echo "== process-mode campaign smoke =="
+# The same spec run in-process (--jobs) and across forked worker
+# processes (--workers) must produce byte-identical artifacts, and the
+# survivability sweep section must be schema-valid.
+cat >"$OUT/spec_workers.json" <<'EOF'
+{"name": "workers", "topologies": [{"name": "f2", "ports": 4}],
+ "conditions": ["C1"], "link_sites": 2, "random_sites": 6, "seeds": 2,
+ "horizon_ms": 1200}
+EOF
+rm -rf "$OUT/campaign_w2.json.state"
+if "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_workers.json" --jobs 4 \
+      --no-profile --out "$OUT/campaign_w0.json" \
+      >"$OUT/campaign_workers.txt" 2>&1 \
+    && "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_workers.json" \
+      --workers 2 --no-profile --out "$OUT/campaign_w2.json" \
+      >>"$OUT/campaign_workers.txt" 2>&1; then
+  if ! cmp -s "$OUT/campaign_w0.json" "$OUT/campaign_w2.json"; then
+    echo "BAD     campaign artifact differs between --jobs 4 and --workers 2"
+    fail=1
+  fi
+  python3 - "$OUT/campaign_w2.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+    surv = doc["survivability"]
+    if surv["reliability_ms"] != [1, 10, 100, 1000]:
+        raise ValueError(f"bad reliability thresholds {surv['reliability_ms']}")
+    if not surv["groups"]:
+        raise ValueError("no survivability groups")
+    for g in surv["groups"]:
+        for key in ("class", "draws", "affected", "failed",
+                    "availability_mean", "availability_p50",
+                    "availability_min", "reliability"):
+            if key not in g:
+                raise ValueError(f"group missing key {key!r}")
+        if len(g["reliability"]) != 4:
+            raise ValueError("reliability curve must have 4 points")
+        if not all(0 <= v <= 1 for v in g["reliability"]):
+            raise ValueError(f"reliability out of [0,1]: {g['reliability']}")
+        if sorted(g["reliability"]) != g["reliability"]:
+            raise ValueError(f"reliability not monotone: {g['reliability']}")
+        if not (0 <= g["availability_min"] <= g["availability_mean"] <= 1):
+            raise ValueError("availability out of order")
+    draws = sum(g["draws"] for g in surv["groups"])
+    rsites = [r for r in doc["runs"] if r["site"].startswith("R")]
+    if draws != len(rsites):
+        raise ValueError(f"groups cover {draws} draws, runs hold {len(rsites)}")
+    print(f"OK      {path} ({len(surv['groups'])} survivability groups, "
+          f"{draws} draws)")
+except (OSError, KeyError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {path}: {e}")
+    sys.exit(1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "process-mode campaign smoke FAILED (see $OUT/campaign_workers.txt)"
+  fail=1
+fi
+
+echo "== campaign kill/resume smoke =="
+# Kill a forked worker mid-campaign with SIGKILL; the parent must fail,
+# and --resume must complete the campaign into an artifact byte-identical
+# to an uninterrupted run. (If the campaign wins the race and finishes
+# before the kill lands, resume is a no-op and the comparison still
+# holds.)
+cat >"$OUT/spec_kill.json" <<'EOF'
+{"name": "kill", "topologies": [{"name": "f2", "ports": 8}],
+ "conditions": ["C1"], "link_sites": 4, "seeds": 2}
+EOF
+rm -rf "$OUT/campaign_kill.json.state"
+if "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_kill.json" --jobs 4 \
+      --no-profile --out "$OUT/campaign_kill_ref.json" \
+      >"$OUT/campaign_kill.txt" 2>&1; then
+  "$BUILD"/tools/f2tsim campaign --spec "$OUT/spec_kill.json" --workers 2 \
+      --no-profile --out "$OUT/campaign_kill.json" \
+      >>"$OUT/campaign_kill.txt" 2>&1 &
+  campaign_pid=$!
+  worker_pid=""
+  for _ in $(seq 1 100); do
+    worker_pid=$(pgrep -P "$campaign_pid" -f "campaign-worker" | head -n 1) || true
+    [ -n "$worker_pid" ] && break
+    sleep 0.05
+  done
+  if [ -n "$worker_pid" ]; then
+    kill -9 "$worker_pid" 2>/dev/null || true
+  fi
+  parent_rc=0
+  wait "$campaign_pid" || parent_rc=$?
+  if [ -n "$worker_pid" ] && [ "$parent_rc" -eq 0 ]; then
+    # The kill may have raced the worker's own exit; only a kill that
+    # landed mid-run must fail the parent. A zero rc with a killed
+    # worker means the campaign completed — tolerated, resume below
+    # still has to reproduce the reference bytes.
+    echo "NOTE    worker kill raced campaign completion (parent rc 0)"
+  fi
+  if "$BUILD"/tools/f2tsim campaign --resume --no-profile \
+        --out "$OUT/campaign_kill.json" >>"$OUT/campaign_kill.txt" 2>&1; then
+    if cmp -s "$OUT/campaign_kill_ref.json" "$OUT/campaign_kill.json"; then
+      echo "OK      killed campaign resumed to a byte-identical artifact"
+    else
+      echo "BAD     resumed artifact differs from the uninterrupted run"
+      fail=1
+    fi
+  else
+    echo "campaign --resume FAILED (see $OUT/campaign_kill.txt)"
+    fail=1
+  fi
+else
+  echo "kill/resume reference campaign FAILED (see $OUT/campaign_kill.txt)"
+  fail=1
+fi
+
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue

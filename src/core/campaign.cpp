@@ -11,10 +11,15 @@
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stats/percentile.hpp"
 
 namespace f2t::core {
 
 namespace {
+
+/// Stream id used to decorrelate a survivability shard's link draw from
+/// the simulation stream that runs it (both derive from the shard seed).
+constexpr std::uint64_t kRandomSiteDrawStream = 0x5117eed;
 
 failure::Condition parse_condition_name(const std::string& text) {
   for (const auto c :
@@ -48,6 +53,17 @@ std::string fmt(double v) {
   return os.str();
 }
 
+/// Exact double rendering for the worker-protocol JSONL records: 17
+/// significant digits round-trip any finite double bit-for-bit, so a
+/// value that crossed a worker stream re-renders through fmt()
+/// identically to one that never left the process.
+std::string fmt_exact(double v) {
+  if (v == 0) return "0";
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
 }  // namespace
 
 std::string CampaignSpec::TopologyAxis::label() const {
@@ -65,7 +81,7 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
                     "spf_ms", "fail_at_ms", "horizon_ms", "detection",
                     "bfd_tx_ms", "bfd_multiplier", "dampening", "fault",
                     "gray_loss", "flap_period_ms", "flap_cycles", "fidelity",
-                    "trace", "sample_interval_ms"},
+                    "trace", "sample_interval_ms", "random_sites"},
                    "spec");
   CampaignSpec spec;
   spec.name = doc.string_or("name", spec.name);
@@ -120,11 +136,6 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
       }
     }
   }
-  if (spec.conditions.empty() && spec.link_sites == 0) {
-    throw std::invalid_argument(
-        "campaign: no failure sites (need conditions and/or link_sites)");
-  }
-
   spec.seeds = static_cast<int>(doc.int_or("seeds", 1));
   if (spec.seeds < 1) throw std::invalid_argument("campaign: seeds < 1");
   spec.base_seed = static_cast<std::uint64_t>(doc.int_or("base_seed", 1));
@@ -178,6 +189,17 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
       doc.int_or("sample_interval_ms", spec.sample_interval_ms));
   if (spec.sample_interval_ms < 0) {
     throw std::invalid_argument("campaign: negative sample_interval_ms");
+  }
+  spec.random_sites =
+      static_cast<int>(doc.int_or("random_sites", spec.random_sites));
+  if (spec.random_sites < 0) {
+    throw std::invalid_argument("campaign: negative random_sites");
+  }
+  if (spec.conditions.empty() && spec.link_sites == 0 &&
+      spec.random_sites == 0) {
+    throw std::invalid_argument(
+        "campaign: no failure sites (need conditions, link_sites and/or "
+        "random_sites)");
   }
   return spec;
 }
@@ -247,10 +269,14 @@ void CampaignSpec::write_json(std::ostream& os, int indent) const {
     os << ",\n"
        << pad << "  \"sample_interval_ms\": " << sample_interval_ms;
   }
+  if (random_sites != defaults.random_sites) {
+    os << ",\n" << pad << "  \"random_sites\": " << random_sites;
+  }
   os << "\n" << pad << "}";
 }
 
 std::string ShardSpec::site() const {
+  if (random_site >= 0) return "R" + std::to_string(random_site);
   return is_link_site ? "L" + std::to_string(link_site)
                       : failure::condition_name(condition);
 }
@@ -261,18 +287,19 @@ std::vector<ShardSpec> enumerate_shards(const CampaignSpec& spec) {
     // Resolve the topology's failure-site universe off the simulation
     // clock; construction order is deterministic for a given axis.
     int sites = spec.link_sites;
-    if (sites != 0) {
+    int all_links = 0;
+    if (sites != 0 || spec.random_sites > 0) {
       sim::Simulator sim(1);
       net::Network net(sim);
       const auto built = topology_builder(topology.name, topology.ports,
                                           topology.ring_width,
                                           topology.aspen_f)(net);
-      const int all = static_cast<int>(failure::switch_links(built).size());
-      sites = sites < 0 ? all : std::min(sites, all);
+      all_links = static_cast<int>(failure::switch_links(built).size());
+      sites = sites < 0 ? all_links : std::min(sites, all_links);
     }
     for (const auto& control : spec.controls) {
       const auto add = [&](bool is_link, failure::Condition condition,
-                           int link_site) {
+                           int link_site, int random_site) {
         for (int replicate = 0; replicate < spec.seeds; ++replicate) {
           ShardSpec shard;
           shard.index = static_cast<int>(shards.size());
@@ -282,16 +309,30 @@ std::vector<ShardSpec> enumerate_shards(const CampaignSpec& spec) {
           shard.condition = condition;
           shard.link_site = link_site;
           shard.replicate = replicate;
+          shard.random_site = random_site;
           shard.seed = sim::Random::derive_stream_seed(
               spec.base_seed, static_cast<std::uint64_t>(shard.index));
+          if (random_site >= 0 && all_links > 0) {
+            // Survivability draw: the failed link is a pure function of
+            // the shard's derived seed (decorrelated from the run
+            // stream), so workers re-enumerating the spec see the same
+            // failure process whatever process runs the shard.
+            sim::Random draw(sim::Random::derive_stream_seed(
+                shard.seed, kRandomSiteDrawStream));
+            shard.link_site = static_cast<int>(
+                draw.index(static_cast<std::size_t>(all_links)));
+          }
           shards.push_back(std::move(shard));
         }
       };
       for (const failure::Condition condition : spec.conditions) {
-        add(false, condition, -1);
+        add(false, condition, -1, -1);
       }
       for (int site = 0; site < sites; ++site) {
-        add(true, failure::Condition::kC1, site);
+        add(true, failure::Condition::kC1, site, -1);
+      }
+      for (int draw = 0; draw < spec.random_sites; ++draw) {
+        add(true, failure::Condition::kC1, -1, draw);
       }
     }
   }
@@ -342,20 +383,253 @@ std::vector<ClassAggregate> aggregate_runs(
       std::sort(losses_ms.begin(), losses_ms.end());
       double sum = 0;
       for (const double v : losses_ms) sum += v;
-      const auto rank = [&losses_ms](double q) {
-        const auto n = losses_ms.size();
-        const auto i = static_cast<std::size_t>(
-            std::ceil(q * static_cast<double>(n))) ;
-        return losses_ms[i == 0 ? 0 : std::min(i - 1, n - 1)];
-      };
       agg.loss_ms_mean = sum / static_cast<double>(losses_ms.size());
-      agg.loss_ms_p50 = rank(0.50);
-      agg.loss_ms_p99 = rank(0.99);
+      agg.loss_ms_p50 = stats::nearest_rank_sorted(losses_ms, 0.50);
+      agg.loss_ms_p99 = stats::nearest_rank_sorted(losses_ms, 0.99);
       agg.loss_ms_max = losses_ms.back();
     }
     out.push_back(std::move(agg));
   }
   return out;
+}
+
+std::vector<SurvivabilityAggregate> aggregate_survivability(
+    const std::vector<ShardResult>& runs, sim::Time window) {
+  std::vector<std::string> keys;
+  for (const ShardResult& r : runs) {
+    if (r.site.empty() || r.site[0] != 'R') continue;
+    const std::string key = r.topology + "/" + r.control;
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<SurvivabilityAggregate> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    SurvivabilityAggregate agg;
+    agg.key = key;
+    std::vector<double> availability;
+    int recovered[4] = {0, 0, 0, 0};
+    int measured = 0;
+    for (const ShardResult& r : runs) {
+      if (r.site.empty() || r.site[0] != 'R') continue;
+      if (r.topology + "/" + r.control != key) continue;
+      ++agg.draws;
+      if (!r.ok) {
+        ++agg.failed;
+        continue;
+      }
+      // A draw the probe flow never crossed is fully available: a random
+      // failure that misses your path costs nothing, and that is part of
+      // the survivability distribution, not noise to exclude.
+      if (r.on_path) ++agg.affected;
+      const double loss_ms = sim::to_millis(r.connectivity_loss);
+      const double window_ms = sim::to_millis(window);
+      availability.push_back(
+          window_ms > 0
+              ? std::max(0.0, 1.0 - loss_ms / window_ms)
+              : 1.0);
+      ++measured;
+      for (int t = 0; t < 4; ++t) {
+        if (loss_ms <= SurvivabilityAggregate::kReliabilityMs[t]) {
+          ++recovered[t];
+        }
+      }
+    }
+    if (!availability.empty()) {
+      std::sort(availability.begin(), availability.end());
+      double sum = 0;
+      for (const double v : availability) sum += v;
+      agg.availability_mean = sum / static_cast<double>(availability.size());
+      agg.availability_p50 = stats::nearest_rank_sorted(availability, 0.50);
+      agg.availability_min = availability.front();
+    }
+    for (int t = 0; t < 4; ++t) {
+      agg.reliability[t] =
+          measured > 0
+              ? static_cast<double>(recovered[t]) / measured
+              : 0;
+    }
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+CampaignSpec survivability_spec(
+    const std::vector<CampaignSpec::TopologyAxis>& topologies, int draws,
+    std::uint64_t base_seed) {
+  if (topologies.empty()) {
+    throw std::invalid_argument("survivability_spec: no topologies");
+  }
+  if (draws < 1) {
+    throw std::invalid_argument("survivability_spec: draws < 1");
+  }
+  CampaignSpec spec;
+  spec.name = "survivability";
+  spec.topologies = topologies;
+  spec.controls = {"ospf"};
+  spec.conditions.clear();
+  spec.link_sites = 0;
+  spec.random_sites = draws;
+  spec.seeds = 1;
+  spec.base_seed = base_seed;
+  return spec;
+}
+
+// ---------------------------------------------------------------------
+// Worker protocol: shard ranges, JSONL shard records, checkpoint
+// manifest.
+
+std::string format_shard_ranges(
+    const std::vector<std::pair<int, int>>& ranges) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    os << (i ? "," : "") << ranges[i].first << ":" << ranges[i].second;
+  }
+  return os.str();
+}
+
+std::vector<std::pair<int, int>> parse_shard_ranges(std::string_view text) {
+  std::vector<std::pair<int, int>> ranges;
+  std::string token;
+  std::istringstream in{std::string(text)};
+  while (std::getline(in, token, ',')) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("shard ranges: expected a:b, got '" +
+                                  token + "'");
+    }
+    int a = 0;
+    int b = 0;
+    try {
+      std::size_t used_a = 0;
+      std::size_t used_b = 0;
+      a = std::stoi(token.substr(0, colon), &used_a);
+      b = std::stoi(token.substr(colon + 1), &used_b);
+      if (used_a != colon || used_b != token.size() - colon - 1) {
+        throw std::invalid_argument("trailing junk");
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("shard ranges: malformed range '" + token +
+                                  "'");
+    }
+    if (a < 0 || b <= a) {
+      throw std::invalid_argument("shard ranges: empty or negative range '" +
+                                  token + "'");
+    }
+    ranges.emplace_back(a, b);
+  }
+  if (ranges.empty()) {
+    throw std::invalid_argument("shard ranges: empty specification");
+  }
+  return ranges;
+}
+
+std::vector<std::pair<int, int>> contiguous_ranges(
+    const std::vector<int>& sorted_indices) {
+  std::vector<std::pair<int, int>> ranges;
+  for (const int i : sorted_indices) {
+    if (!ranges.empty() && ranges.back().second == i) {
+      ++ranges.back().second;
+    } else {
+      ranges.emplace_back(i, i + 1);
+    }
+  }
+  return ranges;
+}
+
+void write_shard_record(std::ostream& os, const ShardResult& r) {
+  os << "{\"v\": 1, \"i\": " << r.index << ", \"topo\": \""
+     << json::escape(r.topology) << "\", \"control\": \""
+     << json::escape(r.control) << "\", \"site\": \"" << json::escape(r.site)
+     << "\", \"class\": \"" << json::escape(r.site_class)
+     << "\", \"rep\": " << r.replicate << ", \"seed\": \"" << r.seed
+     << "\", \"ok\": " << (r.ok ? "true" : "false")
+     << ", \"on_path\": " << (r.on_path ? "true" : "false")
+     << ", \"loss_ns\": " << r.connectivity_loss
+     << ", \"sent\": " << r.packets_sent << ", \"lost\": " << r.packets_lost
+     << ", \"events\": " << r.events_executed
+     << ", \"wall\": " << fmt_exact(r.wall_seconds) << ", \"scenario\": \""
+     << json::escape(r.scenario) << "\", \"spans\": " << r.spans
+     << ", \"detect_ns\": " << r.detect_ns
+     << ", \"converge_ns\": " << r.converge_ns
+     << ", \"samples\": " << r.samples;
+  if (r.queue_rollup) {
+    os << ", \"queue_p99\": " << fmt_exact(r.queue_p99)
+       << ", \"queue_max\": " << fmt_exact(r.queue_max);
+  }
+  if (!r.error.empty()) {
+    os << ", \"error\": \"" << json::escape(r.error) << "\"";
+  }
+  os << "}\n";
+}
+
+ShardResult parse_shard_record(std::string_view line) {
+  const json::Value doc = json::parse(line);
+  if (doc.int_or("v", 0) != 1) {
+    throw std::invalid_argument("shard record: unknown protocol version");
+  }
+  ShardResult r;
+  r.index = static_cast<int>(doc.at("i").as_int());
+  r.topology = doc.at("topo").as_string();
+  r.control = doc.at("control").as_string();
+  r.site = doc.at("site").as_string();
+  r.site_class = doc.at("class").as_string();
+  r.replicate = static_cast<int>(doc.at("rep").as_int());
+  const std::string& seed_text = doc.at("seed").as_string();
+  std::size_t used = 0;
+  r.seed = std::stoull(seed_text, &used);
+  if (used != seed_text.size()) {
+    throw std::invalid_argument("shard record: malformed seed");
+  }
+  r.ok = doc.at("ok").as_bool();
+  r.on_path = doc.at("on_path").as_bool();
+  r.connectivity_loss = doc.at("loss_ns").as_int();
+  r.packets_sent = static_cast<std::uint64_t>(doc.at("sent").as_int());
+  r.packets_lost = static_cast<std::uint64_t>(doc.at("lost").as_int());
+  r.events_executed = static_cast<std::size_t>(doc.at("events").as_int());
+  r.wall_seconds = doc.at("wall").as_double();
+  r.scenario = doc.at("scenario").as_string();
+  r.spans = static_cast<std::size_t>(doc.at("spans").as_int());
+  r.detect_ns = doc.at("detect_ns").as_int();
+  r.converge_ns = doc.at("converge_ns").as_int();
+  r.samples = static_cast<std::size_t>(doc.at("samples").as_int());
+  if (const json::Value* p99 = doc.find("queue_p99")) {
+    r.queue_rollup = true;
+    r.queue_p99 = p99->as_double();
+    r.queue_max = doc.at("queue_max").as_double();
+  }
+  if (const json::Value* error = doc.find("error")) {
+    r.error = error->as_string();
+  }
+  return r;
+}
+
+void CheckpointManifest::write_json(std::ostream& os) const {
+  os << "{\n  \"schema_version\": " << kSchemaVersion
+     << ",\n  \"kind\": \"f2t-campaign-checkpoint\",\n  \"shards\": "
+     << shards << ",\n  \"workers\": " << workers << ",\n  \"spec\": ";
+  spec.write_json(os, 2);
+  os << "\n}\n";
+}
+
+CheckpointManifest CheckpointManifest::parse(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (doc.int_or("schema_version", 0) != kSchemaVersion ||
+      doc.string_or("kind", "") != "f2t-campaign-checkpoint") {
+    throw std::invalid_argument(
+        "checkpoint manifest: bad schema_version/kind");
+  }
+  CheckpointManifest m;
+  m.shards = static_cast<int>(doc.at("shards").as_int());
+  m.workers = static_cast<int>(doc.at("workers").as_int());
+  m.spec = CampaignSpec::from_json(doc.at("spec"));
+  if (m.shards < 1 || m.workers < 1) {
+    throw std::invalid_argument("checkpoint manifest: shards/workers < 1");
+  }
+  return m;
 }
 
 void CampaignResult::write_json(std::ostream& os,
@@ -384,9 +658,14 @@ void CampaignResult::write_json(std::ostream& os,
          << ", \"converge_ns\": " << r.converge_ns;
     }
     if (spec.sample_interval_ms > 0) {
-      os << ", \"samples\": " << r.samples
-         << ", \"queue_p99\": " << fmt(r.queue_p99)
-         << ", \"queue_max\": " << fmt(r.queue_max);
+      os << ", \"samples\": " << r.samples;
+      // The queue rollup is emitted only when the sampler actually
+      // retained rows with a queue-depth series; a missing rollup is an
+      // omitted key, not a fabricated 0.
+      if (r.queue_rollup) {
+        os << ", \"queue_p99\": " << fmt(r.queue_p99)
+           << ", \"queue_max\": " << fmt(r.queue_max);
+      }
     }
     if (!r.error.empty()) {
       os << ", \"error\": \"" << json::escape(r.error) << "\"";
@@ -411,6 +690,29 @@ void CampaignResult::write_json(std::ostream& os,
     os << "]}" << (i + 1 < aggregates.size() ? "," : "") << "\n";
   }
   os << "  ]";
+  if (spec.random_sites > 0) {
+    const auto surv =
+        aggregate_survivability(runs, spec.horizon - spec.fail_at);
+    os << ",\n  \"survivability\": {\"reliability_ms\": [";
+    for (int t = 0; t < 4; ++t) {
+      os << (t ? ", " : "") << SurvivabilityAggregate::kReliabilityMs[t];
+    }
+    os << "], \"groups\": [\n";
+    for (std::size_t i = 0; i < surv.size(); ++i) {
+      const SurvivabilityAggregate& a = surv[i];
+      os << "    {\"class\": \"" << json::escape(a.key)
+         << "\", \"draws\": " << a.draws << ", \"affected\": " << a.affected
+         << ", \"failed\": " << a.failed << ", \"availability_mean\": "
+         << fmt(a.availability_mean) << ", \"availability_p50\": "
+         << fmt(a.availability_p50) << ", \"availability_min\": "
+         << fmt(a.availability_min) << ", \"reliability\": [";
+      for (int t = 0; t < 4; ++t) {
+        os << (t ? ", " : "") << fmt(a.reliability[t]);
+      }
+      os << "]}" << (i + 1 < surv.size() ? "," : "") << "\n";
+    }
+    os << "  ]}";
+  }
   if (include_profile) {
     double shard_wall = 0;
     std::size_t events = 0;
@@ -418,7 +720,9 @@ void CampaignResult::write_json(std::ostream& os,
       shard_wall += r.wall_seconds;
       events += r.events_executed;
     }
-    os << ",\n  \"profile\": {\"jobs\": " << jobs << ", \"wall_seconds\": "
+    os << ",\n  \"profile\": {\"jobs\": " << jobs;
+    if (workers > 0) os << ", \"workers\": " << workers;
+    os << ", \"wall_seconds\": "
        << fmt(wall_seconds) << ", \"shard_wall_seconds\": " << fmt(shard_wall)
        << ", \"events_executed\": " << events
        << ", \"runs_per_second\": "

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/json.hpp"
@@ -76,6 +77,17 @@ struct CampaignSpec {
   /// unsampled artifact's event counts).
   bool trace = false;
   int sample_interval_ms = 0;
+  /// Survivability sweep: per (topology, control), this many additional
+  /// shards each fail one *randomly drawn* switch-to-switch link (the
+  /// random failure process of the reliability/survivability methodology
+  /// — arXiv 1510.02735). The draw is a pure function of (spec, shard
+  /// index): enumerate_shards resolves it from the shard's derived seed,
+  /// so the shard list stays deterministic and process workers
+  /// re-enumerate it identically. Runs are labelled "R<draw>" and feed
+  /// the artifact's "survivability" aggregate section (reliability/
+  /// availability curves per topology). Default 0 — the key and the
+  /// section are omitted, keeping older artifacts byte-identical.
+  int random_sites = 0;
 
   /// Builds a spec from parsed JSON; throws std::invalid_argument on
   /// missing/mistyped fields and on unknown keys (typos must fail loudly,
@@ -100,9 +112,13 @@ struct ShardSpec {
   failure::Condition condition = failure::Condition::kC1;
   int link_site = -1;
   int replicate = 0;
+  /// >= 0 for survivability shards: the random-draw ordinal within this
+  /// (topology, control) group. The drawn link itself is stored in
+  /// link_site (is_link_site is true), so the runner needs no new path.
+  int random_site = -1;
   std::uint64_t seed = 0;  ///< sim::Random::derive_stream_seed(base, index)
 
-  /// Site label: "C1".."C8" or "L<index>".
+  /// Site label: "C1".."C8", "L<index>" or "R<draw>".
   std::string site() const;
 };
 
@@ -137,8 +153,12 @@ struct ShardResult {
   sim::Time detect_ns = -1;
   sim::Time converge_ns = -1;
   /// Sampler summary (filled when spec.sample_interval_ms > 0): retained
-  /// rows and the network-wide queue-depth rollup.
+  /// rows and the network-wide queue-depth rollup. queue_rollup records
+  /// whether the rollup actually existed — when the sampler retained no
+  /// rows (or the series is absent) the queue_* fields are *omitted*
+  /// from the artifact rather than fabricated as 0.
   std::size_t samples = 0;
+  bool queue_rollup = false;
   double queue_p99 = 0;
   double queue_max = 0;
   /// Populated when the shard threw instead of completing: the exception
@@ -169,6 +189,86 @@ struct ClassAggregate {
 std::vector<ClassAggregate> aggregate_runs(
     const std::vector<ShardResult>& runs);
 
+/// Survivability aggregate over one "<topology>/<control>" group's
+/// random-failure draws ("R*" sites): availability (fraction of the
+/// post-failure window the probe flow was connected; off-path draws are
+/// fully available by construction) and a reliability curve — the
+/// fraction of ok draws whose connectivity gap closed within each
+/// threshold of kReliabilityMs. Reproduces the reliability/availability
+/// methodology of arXiv 1510.02735 over the engine's probe runs.
+struct SurvivabilityAggregate {
+  static constexpr int kReliabilityMs[4] = {1, 10, 100, 1000};
+
+  std::string key;   ///< "<topology>/<control>"
+  int draws = 0;     ///< random-site runs in the group
+  int affected = 0;  ///< ok && probe on-path
+  int failed = 0;    ///< scenario construction failed
+  double availability_mean = 0;
+  double availability_p50 = 0;
+  double availability_min = 0;
+  double reliability[4] = {0, 0, 0, 0};  ///< per kReliabilityMs threshold
+};
+
+/// Aggregates the random-site runs ("R*" labels) per topology/control.
+/// `window` is the post-failure measurement window (horizon - fail_at)
+/// availability is normalized against. Empty when the spec had no
+/// random_sites.
+std::vector<SurvivabilityAggregate> aggregate_survivability(
+    const std::vector<ShardResult>& runs, sim::Time window);
+
+/// Spec generator for a survivability sweep: `draws` random single-link
+/// failure processes per (topology, control) — thousands of seeds over
+/// randomly drawn failure sites producing the reliability/availability
+/// curves above. The returned spec is a plain CampaignSpec: echo it,
+/// shard it, or feed it straight to the campaign engine.
+CampaignSpec survivability_spec(
+    const std::vector<CampaignSpec::TopologyAxis>& topologies, int draws,
+    std::uint64_t base_seed = 1);
+
+// ------------------------------------------------------------------------
+// Worker protocol: shard ranges, streamed JSONL shard records and the
+// resumable checkpoint manifest (multi-process campaign execution).
+
+/// Formats half-open shard ranges as "a:b,c:d" (the worker subcommand's
+/// --shards argument).
+std::string format_shard_ranges(
+    const std::vector<std::pair<int, int>>& ranges);
+
+/// Parses "a:b,c:d" back into half-open ranges; throws
+/// std::invalid_argument on malformed text, empty or negative ranges.
+std::vector<std::pair<int, int>> parse_shard_ranges(std::string_view text);
+
+/// Compresses a sorted list of shard indices into minimal contiguous
+/// half-open ranges (resume passes the *missing* indices through this).
+std::vector<std::pair<int, int>> contiguous_ranges(
+    const std::vector<int>& sorted_indices);
+
+/// One shard record as a single JSONL line — the worker streaming
+/// format. Round-trips every ShardResult field exactly (doubles at 17
+/// significant digits, the 64-bit seed as a string), so a reduced
+/// artifact is byte-identical to an in-process one.
+void write_shard_record(std::ostream& os, const ShardResult& r);
+
+/// Parses one record line; throws std::invalid_argument on malformed
+/// input (a torn line from a killed worker must be detected, not
+/// half-applied).
+ShardResult parse_shard_record(std::string_view line);
+
+/// Checkpoint manifest for a multi-process campaign: the spec echo plus
+/// the shard/worker geometry, written to <state-dir>/manifest.json
+/// before any worker starts. On --resume the manifest names the
+/// campaign to continue, and the embedded spec must match byte-for-byte.
+struct CheckpointManifest {
+  static constexpr int kSchemaVersion = 1;
+
+  CampaignSpec spec;
+  int shards = 0;   ///< total shard count of the spec
+  int workers = 0;  ///< worker count of the (initial) run
+
+  void write_json(std::ostream& os) const;
+  static CheckpointManifest parse(std::string_view text);
+};
+
 /// Everything one campaign produces. The deterministic portion (spec,
 /// per-run records in shard order, aggregates) is byte-identical for a
 /// given spec whatever --jobs is; the profile (wall clock, thread counts)
@@ -180,6 +280,7 @@ struct CampaignResult {
   std::vector<ShardResult> runs;  ///< in shard-index order
 
   int jobs = 1;
+  int workers = 0;  ///< process-mode worker count; 0 = in-process threads
   double wall_seconds = 0;
   unsigned hardware_threads = 0;
   std::uint64_t steals = 0;  ///< work-stealing pool diagnostics

@@ -1,6 +1,7 @@
 #include "exec/campaign.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -85,12 +86,36 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   }
   if (spec.sample_interval_ms > 0 && run.observation.samples.enabled) {
     r.samples = run.observation.samples.rows.size();
-    const auto rollup =
-        run.observation.samples.rollup_of("net.queue_depth");
-    r.queue_p99 = rollup.p99;
-    r.queue_max = rollup.max;
+    if (const auto rollup =
+            run.observation.samples.rollup_of("net.queue_depth")) {
+      r.queue_rollup = true;
+      r.queue_p99 = rollup->p99;
+      r.queue_max = rollup->max;
+    }
   }
   return r;
+}
+
+core::ShardResult run_shard_captured(const core::CampaignSpec& spec,
+                                     const core::ShardSpec& shard) {
+  // A throwing shard must not poison the campaign: capture the failure
+  // as this shard's result instead. The record is deterministic —
+  // identity comes from the ShardSpec and the message from the
+  // spec-dependent exception, not from scheduling.
+  try {
+    return run_shard(spec, shard);
+  } catch (const std::exception& e) {
+    core::ShardResult r;
+    r.index = shard.index;
+    r.topology = shard.topology.label();
+    r.control = shard.control;
+    r.site = shard.site();
+    r.replicate = shard.replicate;
+    r.seed = shard.seed;
+    r.ok = false;
+    r.error = e.what();
+    return r;
+  }
 }
 
 core::CampaignResult run_campaign(const core::CampaignSpec& spec,
@@ -106,31 +131,23 @@ core::CampaignResult run_campaign(const core::CampaignSpec& spec,
   result.jobs = pool.threads();
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // Callback invocations are serialized under one mutex (the contract
+  // CampaignOptions documents): hooks from different pool threads never
+  // interleave, so CLI progress printing and test collectors need no
+  // locking of their own. Shard execution itself runs outside the lock.
+  std::mutex callback_mutex;
   pool.parallel_for(shards.size(), [&](std::size_t i) {
     // Each shard writes only its own pre-assigned slot; the result vector
     // needs no lock and ends up in shard order regardless of scheduling.
-    // A throwing shard must not poison the pool (parallel_for would
-    // rethrow and abandon the remaining shards): capture the failure as
-    // this shard's result instead. The record is deterministic — identity
-    // comes from the ShardSpec and the message from the spec-dependent
-    // exception, not from scheduling.
-    if (options.on_shard_start) options.on_shard_start(shards[i]);
-    try {
-      result.runs[i] = run_shard(spec, shards[i]);
-    } catch (const std::exception& e) {
-      core::ShardResult r;
-      const core::ShardSpec& s = shards[i];
-      r.index = s.index;
-      r.topology = s.topology.label();
-      r.control = s.control;
-      r.site = s.site();
-      r.replicate = s.replicate;
-      r.seed = s.seed;
-      r.ok = false;
-      r.error = e.what();
-      result.runs[i] = std::move(r);
+    if (options.on_shard_start) {
+      const std::lock_guard<std::mutex> lock(callback_mutex);
+      options.on_shard_start(shards[i]);
     }
-    if (options.on_result) options.on_result(result.runs[i]);
+    result.runs[i] = run_shard_captured(spec, shards[i]);
+    if (options.on_result) {
+      const std::lock_guard<std::mutex> lock(callback_mutex);
+      options.on_result(result.runs[i]);
+    }
   });
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall_start;

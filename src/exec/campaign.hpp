@@ -18,13 +18,22 @@ namespace f2t::exec {
 
 struct CampaignOptions {
   int jobs = 1;  ///< <= 0 selects hardware_concurrency
-  /// Optional progress hook, invoked after each shard completes (from the
-  /// worker thread that ran it — must be thread-safe if jobs > 1).
+  /// Optional progress hook, invoked after each shard completes.
+  ///
+  /// Thread-safety contract: run_campaign serializes *all* callback
+  /// invocations (on_shard_start and on_result share one mutex), so a
+  /// hook never observes itself running concurrently and may touch
+  /// un-synchronized state (ostreams, counters, vectors). Invocation
+  /// still happens on whichever pool thread ran the shard — hooks must
+  /// not assume the caller's thread — and completion *order* across
+  /// shards remains schedule-dependent; only the runs vector is in
+  /// shard order.
   std::function<void(const core::ShardResult&)> on_result;
   /// Optional heartbeat, invoked just before each shard starts running
-  /// (same threading caveat). With on_result this gives the CLI a live
-  /// started/finished view of long campaigns — a stuck shard shows up as
-  /// a started-but-never-finished index instead of silent stall.
+  /// (same serialization contract as on_result). With on_result this
+  /// gives the CLI a live started/finished view of long campaigns — a
+  /// stuck shard shows up as a started-but-never-finished index instead
+  /// of silent stall.
   std::function<void(const core::ShardSpec&)> on_shard_start;
 };
 
@@ -33,6 +42,14 @@ struct CampaignOptions {
 /// campaign stored at that index.
 core::ShardResult run_shard(const core::CampaignSpec& spec,
                             const core::ShardSpec& shard);
+
+/// run_shard with the campaign engine's failure capture: a throwing
+/// shard becomes a deterministic error record (identity from the
+/// ShardSpec, message from the spec-dependent exception) instead of
+/// propagating. This is the exact per-shard semantic of run_campaign,
+/// exported so process workers produce byte-identical records.
+core::ShardResult run_shard_captured(const core::CampaignSpec& spec,
+                                     const core::ShardSpec& shard);
 
 core::CampaignResult run_campaign(const core::CampaignSpec& spec,
                                   const CampaignOptions& options = {});

@@ -8,6 +8,7 @@
 
 #include "net/link.hpp"
 #include "net/network.hpp"
+#include "stats/percentile.hpp"
 
 namespace f2t::obs {
 
@@ -23,12 +24,18 @@ std::string fmt(double v) {
   return os.str();
 }
 
-/// Nearest-rank percentile over an already-sorted vector.
-double percentile_sorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+SamplerReport::Rollup rollup_column(const std::vector<SamplerReport::Row>& rows,
+                                    const std::string& name, std::size_t s) {
+  std::vector<double> column;
+  column.reserve(rows.size());
+  for (const SamplerReport::Row& row : rows) column.push_back(row.values[s]);
+  std::sort(column.begin(), column.end());
+  SamplerReport::Rollup r;
+  r.name = name;
+  r.p50 = stats::nearest_rank_sorted(column, 0.50);
+  r.p99 = stats::nearest_rank_sorted(column, 0.99);
+  r.max = column.back();
+  return r;
 }
 
 }  // namespace
@@ -37,27 +44,19 @@ std::vector<SamplerReport::Rollup> SamplerReport::rollups() const {
   std::vector<Rollup> out;
   if (rows.empty()) return out;
   out.reserve(series.size());
-  std::vector<double> column;
-  column.reserve(rows.size());
   for (std::size_t s = 0; s < series.size(); ++s) {
-    column.clear();
-    for (const Row& row : rows) column.push_back(row.values[s]);
-    std::sort(column.begin(), column.end());
-    Rollup r;
-    r.name = series[s];
-    r.p50 = percentile_sorted(column, 0.50);
-    r.p99 = percentile_sorted(column, 0.99);
-    r.max = column.back();
-    out.push_back(std::move(r));
+    out.push_back(rollup_column(rows, series[s], s));
   }
   return out;
 }
 
-SamplerReport::Rollup SamplerReport::rollup_of(const std::string& name) const {
-  for (const Rollup& r : rollups()) {
-    if (r.name == name) return r;
+std::optional<SamplerReport::Rollup> SamplerReport::rollup_of(
+    const std::string& name) const {
+  if (rows.empty()) return std::nullopt;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (series[s] == name) return rollup_column(rows, name, s);
   }
-  return {};
+  return std::nullopt;
 }
 
 void SamplerReport::write_jsonl(std::ostream& os) const {

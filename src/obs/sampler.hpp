@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -51,13 +52,17 @@ struct SamplerReport {
   std::uint64_t dropped_rows = 0;
 
   /// Per-series p50/p99/max over the retained rows (nearest-rank
-  /// percentiles, the same convention the campaign aggregates use).
-  /// Empty when there are no rows.
+  /// percentiles via stats::nearest_rank_sorted, the same convention the
+  /// campaign aggregates use). Empty when there are no rows.
   std::vector<Rollup> rollups() const;
 
-  /// The rollup for one series by name, or a zeroed Rollup when the
-  /// series does not exist (campaign shards summarize queue depth).
-  Rollup rollup_of(const std::string& name) const;
+  /// The rollup for one series by name (campaign shards summarize queue
+  /// depth). Computes just the requested column — O(rows log rows), not
+  /// every series — and returns nullopt when the series does not exist
+  /// or no rows were retained, so a typo'd metric name is
+  /// distinguishable from an all-zero series instead of silently
+  /// fabricating a zeroed rollup.
+  std::optional<Rollup> rollup_of(const std::string& name) const;
 
   /// Schema-versioned JSONL: a header line
   ///   {"schema_version":1,"stream":"f2t-samples","interval_ns":I,

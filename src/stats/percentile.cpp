@@ -1,0 +1,18 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace f2t::stats {
+
+double nearest_rank_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+}  // namespace f2t::stats

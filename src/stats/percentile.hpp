@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+namespace f2t::stats {
+
+/// Nearest-rank percentile over an already-sorted (ascending) sample:
+/// the smallest element x such that at least ceil(p * n) samples are
+/// <= x. The single definition shared by every artifact writer — the
+/// telemetry rollups (obs::SamplerReport) and the campaign aggregates
+/// (core::aggregate_runs) must bucket identically or cross-artifact
+/// comparisons lie.
+///
+/// Conventions (pinned by tests/test_stats.cpp):
+///  - empty sample -> 0;
+///  - p <= 0 -> the minimum (rank clamps up to 1);
+///  - p >= 1 -> the maximum (rank clamps down to n).
+double nearest_rank_sorted(const std::vector<double>& sorted, double p);
+
+}  // namespace f2t::stats

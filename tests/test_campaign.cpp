@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -409,6 +412,290 @@ TEST(CampaignRun, TracedShardsRecordSpansAndMilestones) {
   std::ostringstream os1;
   r1.write_json(os1, /*include_profile=*/false);
   EXPECT_EQ(os.str(), os1.str());
+}
+
+TEST(CampaignRun, CallbacksAreSerializedAcrossPoolThreads) {
+  // The engine's documented contract: on_shard_start/on_result never run
+  // concurrently, so hooks may touch un-synchronized state. Both hooks
+  // append to one plain (unlocked) vector; under TSan or with enough
+  // shards, a violated contract corrupts it or trips the re-entrancy
+  // flag.
+  const auto spec = tiny_spec();
+  exec::CampaignOptions options;
+  options.jobs = 8;
+  std::vector<int> order;  // deliberately unsynchronized
+  std::atomic<bool> inside{false};
+  const auto enter = [&inside] {
+    ASSERT_FALSE(inside.exchange(true)) << "callback ran concurrently";
+  };
+  const auto leave = [&inside] { inside.store(false); };
+  options.on_shard_start = [&](const core::ShardSpec& s) {
+    enter();
+    order.push_back(s.index);
+    leave();
+  };
+  options.on_result = [&](const core::ShardResult& r) {
+    enter();
+    order.push_back(r.index);
+    leave();
+  };
+  const auto result = exec::run_campaign(spec, options);
+  EXPECT_EQ(order.size(), 2 * result.runs.size());
+}
+
+// -------------------------------------------------------- survivability --
+
+TEST(CampaignSpec, RandomSitesParseEchoAndEnumerateDeterministically) {
+  const auto spec = core::CampaignSpec::parse(R"({
+    "name": "surv",
+    "topologies": [{"name": "f2", "ports": 4}],
+    "random_sites": 5,
+    "seeds": 2,
+    "horizon_ms": 1200
+  })");
+  EXPECT_EQ(spec.random_sites, 5);
+  std::ostringstream echo;
+  spec.write_json(echo);
+  EXPECT_NE(echo.str().find("\"random_sites\": 5"), std::string::npos);
+  // Echo round-trips.
+  const auto again = core::CampaignSpec::parse(echo.str());
+  std::ostringstream echo2;
+  again.write_json(echo2);
+  EXPECT_EQ(echo.str(), echo2.str());
+
+  const auto shards = core::enumerate_shards(spec);
+  ASSERT_EQ(shards.size(), 10u);  // 5 draws x 2 seeds
+  const auto shards2 = core::enumerate_shards(spec);
+  std::set<int> links;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& s = shards[i];
+    EXPECT_TRUE(s.is_link_site);
+    EXPECT_GE(s.random_site, 0);
+    EXPECT_GE(s.link_site, 0);
+    EXPECT_EQ(s.site(), std::string("R") + std::to_string(s.random_site));
+    // Pure function of the spec: a re-enumeration draws the same links.
+    EXPECT_EQ(s.link_site, shards2[i].link_site);
+    links.insert(s.link_site);
+  }
+  // 5 independent draws over an f2-4's links should not collapse to one.
+  EXPECT_GT(links.size(), 1u);
+}
+
+TEST(CampaignSpec, RandomSitesAloneAreAValidSiteSource) {
+  const auto spec = core::CampaignSpec::parse(R"({
+    "name": "only-random",
+    "topologies": [{"name": "f2", "ports": 4}],
+    "random_sites": 3
+  })");
+  EXPECT_TRUE(spec.conditions.empty());
+  EXPECT_EQ(core::enumerate_shards(spec).size(), 3u);
+  EXPECT_THROW(core::CampaignSpec::parse(R"({
+    "name": "nothing",
+    "topologies": [{"name": "f2", "ports": 4}],
+    "random_sites": 0
+  })"),
+               std::invalid_argument);
+}
+
+TEST(CampaignRun, SurvivabilitySweepProducesCurves) {
+  const auto spec = core::survivability_spec(
+      {core::CampaignSpec::TopologyAxis{"f2", 4, 2, 1}}, /*draws=*/8);
+  EXPECT_EQ(spec.random_sites, 8);
+  exec::CampaignOptions options;
+  options.jobs = 4;
+  const auto result = exec::run_campaign(spec, options);
+  ASSERT_EQ(result.runs.size(), 8u);
+
+  const auto surv = core::aggregate_survivability(
+      result.runs, spec.horizon - spec.fail_at);
+  ASSERT_EQ(surv.size(), 1u);
+  const auto& a = surv[0];
+  EXPECT_EQ(a.key, "f2-4/ospf");
+  EXPECT_EQ(a.draws, 8);
+  EXPECT_GE(a.affected, 0);
+  EXPECT_GE(a.availability_mean, 0.0);
+  EXPECT_LE(a.availability_mean, 1.0);
+  EXPECT_GE(a.availability_min, 0.0);
+  EXPECT_LE(a.availability_p50, 1.0);
+  // The reliability curve is monotone in the threshold.
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_GE(a.reliability[t], a.reliability[t - 1]);
+  }
+  EXPECT_LE(a.reliability[3], 1.0);
+
+  // The artifact gains the survivability section — and stays
+  // byte-identical across job counts.
+  std::ostringstream os;
+  result.write_json(os, /*include_profile=*/false);
+  EXPECT_NE(os.str().find("\"survivability\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"reliability_ms\": [1, 10, 100, 1000]"),
+            std::string::npos);
+  exec::CampaignOptions serial;
+  serial.jobs = 1;
+  const auto r1 = exec::run_campaign(spec, serial);
+  std::ostringstream os1;
+  r1.write_json(os1, /*include_profile=*/false);
+  EXPECT_EQ(os.str(), os1.str());
+
+  // Specs without random sites do not grow the section.
+  const auto plain = exec::run_campaign(tiny_spec(), serial);
+  std::ostringstream pos;
+  plain.write_json(pos, /*include_profile=*/false);
+  EXPECT_EQ(pos.str().find("\"survivability\""), std::string::npos);
+}
+
+TEST(CampaignSpec, SurvivabilitySpecRejectsBadArguments) {
+  EXPECT_THROW(core::survivability_spec({}, 8), std::invalid_argument);
+  EXPECT_THROW(core::survivability_spec(
+                   {core::CampaignSpec::TopologyAxis{}}, 0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ worker protocol --
+
+TEST(WorkerProtocol, ShardRangesRoundTripAndReject) {
+  const std::vector<std::pair<int, int>> ranges{{0, 4}, {7, 9}};
+  const std::string text = core::format_shard_ranges(ranges);
+  EXPECT_EQ(text, "0:4,7:9");
+  EXPECT_EQ(core::parse_shard_ranges(text), ranges);
+  EXPECT_THROW(core::parse_shard_ranges(""), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("3"), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("4:4"), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("5:3"), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("-1:3"), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("0:2,x:3"), std::invalid_argument);
+  EXPECT_THROW(core::parse_shard_ranges("0:2junk"), std::invalid_argument);
+}
+
+TEST(WorkerProtocol, ContiguousRangesCompressIndexLists) {
+  EXPECT_TRUE(core::contiguous_ranges({}).empty());
+  EXPECT_EQ(core::contiguous_ranges({3}),
+            (std::vector<std::pair<int, int>>{{3, 4}}));
+  EXPECT_EQ(core::contiguous_ranges({0, 1, 2, 5, 6, 9}),
+            (std::vector<std::pair<int, int>>{{0, 3}, {5, 7}, {9, 10}}));
+}
+
+TEST(WorkerProtocol, ShardRecordRoundTripsExactly) {
+  core::ShardResult r;
+  r.index = 42;
+  r.topology = "f2-8";
+  r.control = "ospf";
+  r.site = "R3";
+  r.site_class = "agg-spine";
+  r.replicate = 7;
+  r.seed = 18446744073709551557ull;  // needs 64 bits: JSON int64 overflows
+  r.ok = true;
+  r.on_path = true;
+  r.connectivity_loss = 123456789;
+  r.packets_sent = 100000;
+  r.packets_lost = 37;
+  r.events_executed = 987654;
+  r.wall_seconds = 0.1234567890123456789;  // exercises 17-digit exactness
+  r.scenario = "link 3 \"down\"";          // exercises escaping
+  r.spans = 5;
+  r.detect_ns = 60000000;
+  r.converge_ns = 260000001;
+  r.samples = 240;
+  r.queue_rollup = true;
+  r.queue_p99 = 17.000000000000004;  // not representable at 10 digits
+  r.queue_max = 19.5;
+
+  std::ostringstream os;
+  core::write_shard_record(os, r);
+  const std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "one record, one line";
+
+  const auto back =
+      core::parse_shard_record(std::string_view(line).substr(0, line.size() - 1));
+  EXPECT_EQ(back.index, r.index);
+  EXPECT_EQ(back.topology, r.topology);
+  EXPECT_EQ(back.control, r.control);
+  EXPECT_EQ(back.site, r.site);
+  EXPECT_EQ(back.site_class, r.site_class);
+  EXPECT_EQ(back.replicate, r.replicate);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_EQ(back.on_path, r.on_path);
+  EXPECT_EQ(back.connectivity_loss, r.connectivity_loss);
+  EXPECT_EQ(back.packets_sent, r.packets_sent);
+  EXPECT_EQ(back.packets_lost, r.packets_lost);
+  EXPECT_EQ(back.events_executed, r.events_executed);
+  EXPECT_EQ(back.wall_seconds, r.wall_seconds);  // bit-exact, not near
+  EXPECT_EQ(back.scenario, r.scenario);
+  EXPECT_EQ(back.spans, r.spans);
+  EXPECT_EQ(back.detect_ns, r.detect_ns);
+  EXPECT_EQ(back.converge_ns, r.converge_ns);
+  EXPECT_EQ(back.samples, r.samples);
+  EXPECT_EQ(back.queue_rollup, r.queue_rollup);
+  EXPECT_EQ(back.queue_p99, r.queue_p99);
+  EXPECT_EQ(back.queue_max, r.queue_max);
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(WorkerProtocol, ErrorRecordsAndAbsentRollupsRoundTrip) {
+  core::ShardResult r;
+  r.index = 3;
+  r.topology = "nope-4";
+  r.control = "ospf";
+  r.site = "C1";
+  r.seed = 99;
+  r.ok = false;
+  r.error = "unknown topology: nope";
+  std::ostringstream os;
+  core::write_shard_record(os, r);
+  const std::string line = os.str();
+  const auto back = core::parse_shard_record(
+      std::string_view(line).substr(0, line.size() - 1));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_FALSE(back.queue_rollup);  // absent fields stay absent
+  EXPECT_EQ(line.find("\"queue_p99\""), std::string::npos);
+}
+
+TEST(WorkerProtocol, TornLinesAreRejected) {
+  core::ShardResult r;
+  r.index = 1;
+  r.topology = "f2-4";
+  r.control = "ospf";
+  r.site = "L0";
+  r.seed = 7;
+  r.ok = true;
+  std::ostringstream os;
+  core::write_shard_record(os, r);
+  const std::string line = os.str();
+  // A SIGKILL mid-write leaves a prefix; every strict prefix must fail
+  // to parse rather than yield a half-initialized record.
+  for (const std::size_t cut : {line.size() / 4, line.size() / 2,
+                                line.size() - 2}) {
+    EXPECT_THROW(core::parse_shard_record(
+                     std::string_view(line).substr(0, cut)),
+                 std::exception)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  EXPECT_THROW(core::parse_shard_record("{\"v\": 2}"), std::invalid_argument);
+}
+
+TEST(WorkerProtocol, ManifestRoundTripsAndValidates) {
+  core::CheckpointManifest m;
+  m.spec = tiny_spec();
+  m.shards = 6;
+  m.workers = 3;
+  std::ostringstream os;
+  m.write_json(os);
+  const auto back = core::CheckpointManifest::parse(os.str());
+  EXPECT_EQ(back.shards, 6);
+  EXPECT_EQ(back.workers, 3);
+  std::ostringstream a;
+  std::ostringstream b;
+  m.spec.write_json(a);
+  back.spec.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_THROW(core::CheckpointManifest::parse("{}"), std::invalid_argument);
+  EXPECT_THROW(core::CheckpointManifest::parse(
+                   "{\"schema_version\": 1, \"kind\": \"wrong\"}"),
+               std::invalid_argument);
 }
 
 }  // namespace

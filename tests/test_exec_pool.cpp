@@ -80,5 +80,71 @@ TEST(ThreadPool, DefaultThreadCountIsHardware) {
   EXPECT_GE(pool.threads(), 1);
 }
 
+// ------------------------------------------------- failure semantics
+//
+// The campaign engine leans on three properties when shards throw:
+// exactly one exception survives a parallel_for with many throwers, the
+// serial path (threads <= 1) fails the same way the parallel path does,
+// and once a failure is recorded the pool stops starting new work.
+
+TEST(ThreadPool, ConcurrentThrowersPropagateExactlyOneException) {
+  exec::ThreadPool pool(8);
+  std::atomic<int> thrown{0};
+  int caught = 0;
+  try {
+    pool.parallel_for(200, [&](std::size_t i) {
+      if (i % 2 == 0) {
+        thrown.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("shard " + std::to_string(i) +
+                                 " exploded");
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    // Whichever thrower won the race, the message is one of ours — the
+    // pool must not mangle or replace the first exception.
+    EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_GE(thrown.load(), 1);
+}
+
+TEST(ThreadPool, SerialPathThrowsLikeParallelPath) {
+  // threads <= 1 runs inline; the exception type and the "remaining
+  // indices are abandoned" behaviour must match the parallel path.
+  exec::ThreadPool serial(1);
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(serial.parallel_for(10,
+                                   [&](std::size_t i) {
+                                     if (i == 3) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                     ran.push_back(i);
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+  // Usable after the failure, exactly like the parallel pool.
+  int calls = 0;
+  serial.parallel_for(4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(ThreadPool, FailureStopsStartingNewWork) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> started{0};
+  try {
+    pool.parallel_for(10000, [&](std::size_t) {
+      started.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("first");
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Once the failure flag is up the pool skips the remaining indices —
+  // far fewer invocations than the full range (bounded loosely: each
+  // in-flight thread may start at most a handful before observing it).
+  EXPECT_LT(started.load(), 10000);
+}
+
 }  // namespace
 }  // namespace f2t

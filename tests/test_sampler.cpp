@@ -110,8 +110,15 @@ TEST(Sampler, RollupsArePerSeriesPercentiles) {
   EXPECT_DOUBLE_EQ(rolled[0].max, 100.0);
   EXPECT_DOUBLE_EQ(rolled[1].p50, 5.0);
   EXPECT_DOUBLE_EQ(rolled[1].max, 5.0);
-  EXPECT_DOUBLE_EQ(report.rollup_of("a").p99, 99.0);
-  EXPECT_DOUBLE_EQ(report.rollup_of("missing").max, 0.0);
+  const auto a = report.rollup_of("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->p99, 99.0);
+  // A series that was never registered is *absent*, not an all-zero
+  // rollup — callers can tell a typo'd name from a quiet network.
+  EXPECT_FALSE(report.rollup_of("missing").has_value());
+  obs::SamplerReport empty;
+  empty.series = {"a"};
+  EXPECT_FALSE(empty.rollup_of("a").has_value());
 }
 
 TEST(Sampler, JsonlIsSchemaVersionedWithRollupTrailer) {
@@ -173,7 +180,9 @@ TEST(Sampler, TestbedRunCollectsNetworkTelemetry) {
   EXPECT_TRUE(saw_net);
   EXPECT_TRUE(saw_sim);
   // A C1 run executes events, so the engine rate rolls up above zero.
-  EXPECT_GT(samples.rollup_of("sim.event_rate").max, 0.0);
+  const auto rate = samples.rollup_of("sim.event_rate");
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(rate->max, 0.0);
   // Rows are fixed-width and chronological.
   for (std::size_t i = 0; i < samples.rows.size(); ++i) {
     EXPECT_EQ(samples.rows[i].values.size(), samples.series.size());

@@ -2,11 +2,50 @@
 
 #include "stats/cdf.hpp"
 #include "stats/flow_metrics.hpp"
+#include "stats/percentile.hpp"
 #include "stats/table.hpp"
 #include "stats/timeseries.hpp"
 
 namespace f2t::stats {
 namespace {
+
+// ------------------------------------------------------------ percentile
+//
+// nearest_rank_sorted is the single percentile convention shared by the
+// sampler rollups and the campaign aggregates — these tests pin the edge
+// behaviour both call sites depend on.
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted({}, 0.99), 0.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(one, 1.0), 42.0);
+}
+
+TEST(Percentile, NearestRankOverHundredValues) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 1.0), 100.0);
+}
+
+TEST(Percentile, SmallSamplesClampWithoutExtrapolating) {
+  // With n < 100 the p99 rank rounds up to the maximum — never past it,
+  // never interpolated.
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.99), 3.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.5), 2.0);
+  // p = 0 clamps the rank up to 1: the minimum, not an out-of-range read.
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 1.0), 3.0);
+}
 
 TEST(ThroughputMeter, BinsAndRates) {
   ThroughputMeter m(sim::millis(20));

@@ -18,6 +18,7 @@
 /// use, so a CLI run is exactly reproducible in code.
 
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +27,7 @@
 #include "core/f2tree.hpp"
 #include "core/runner.hpp"
 #include "exec/campaign.hpp"
+#include "exec/process.hpp"
 #include "obs/trace.hpp"
 #include "topo/graphviz.hpp"
 
@@ -52,9 +54,11 @@ int usage() {
       "  workload --topo NAME --ports N [--seconds 60] [--cf 1] [--seed 1]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "  campaign --spec FILE [--jobs N] [--out FILE] [--no-profile]\n"
+      "           [--workers N] [--resume] [--state-dir DIR]\n"
       "           or ad hoc: [--name S] [--topo NAME] [--ports N]\n"
       "           [--control ospf|central|bgp] [--conditions C1,..|all]\n"
-      "           [--link-sites N|all] [--seeds N] [--base-seed N]\n"
+      "           [--link-sites N|all] [--random-sites N] [--seeds N]\n"
+      "           [--base-seed N]\n"
       "           [--detection-ms 60] [--spf-ms 200] [--ring-width 2]\n"
       "           [--aspen-f 1] [--detection oracle|probe] [--bfd-tx-ms 20]\n"
       "           [--bfd-multiplier 3] [--no-dampening]\n"
@@ -75,7 +79,14 @@ int usage() {
       "drop rates) with p50/p99/max rollups on the last line.\n"
       "campaign shards the spec's failure matrix across --jobs worker\n"
       "threads; the JSON artifact (minus --no-profile) is byte-identical\n"
-      "for any job count.\n";
+      "for any job count. --workers N runs the shards across N forked\n"
+      "worker *processes* instead, streaming one JSONL record per shard\n"
+      "into --state-dir (default <out>.state); the artifact stays\n"
+      "byte-identical, and a killed campaign continues from its\n"
+      "checkpointed shards with --resume. --random-sites N adds N\n"
+      "randomly drawn single-link failures per topology/control (the\n"
+      "survivability sweep; aggregated reliability/availability curves\n"
+      "land in the artifact's \"survivability\" section).\n";
   return 2;
 }
 
@@ -351,6 +362,10 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   }
   const std::string sites = cli.get("link-sites", "0");
   spec.link_sites = sites == "all" ? -1 : std::stoi(sites);
+  spec.random_sites = cli.get_int("random-sites", 0);
+  if (spec.random_sites < 0) {
+    throw std::invalid_argument("--random-sites must be >= 0");
+  }
   spec.seeds = cli.get_int("seeds", 1);
   spec.base_seed = static_cast<std::uint64_t>(cli.get_int("base-seed", 1));
   spec.detection_ms = cli.get_int("detection-ms", 60);
@@ -383,7 +398,8 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   if (spec.sample_interval_ms < 0) {
     throw std::invalid_argument("--sample-interval-ms must be >= 0");
   }
-  if (spec.conditions.empty() && spec.link_sites == 0) {
+  if (spec.conditions.empty() && spec.link_sites == 0 &&
+      spec.random_sites == 0) {
     // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
     using failure::Condition;
     spec.conditions = {Condition::kC1, Condition::kC2, Condition::kC3,
@@ -393,22 +409,48 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   return spec;
 }
 
+std::string slurp_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 int cmd_campaign(core::Cli& cli) {
   const std::string spec_path = cli.get("spec", "");
   const int jobs = cli.get_int("jobs", 1);
   const std::string out_path = cli.get("out", "campaign.json");
   const bool no_profile = cli.get_flag("no-profile");
+  int workers = cli.get_int("workers", 0);
+  const bool resume = cli.get_flag("resume");
+  const std::string state_dir = cli.get("state-dir", out_path + ".state");
 
   core::CampaignSpec spec;
-  if (!spec_path.empty()) {
-    std::ifstream in(spec_path);
-    if (!in) {
-      std::cerr << "cannot read " << spec_path << "\n";
-      return 1;
+  if (resume) {
+    // On --resume the checkpoint manifest names the campaign; a --spec
+    // given alongside is verified against it (canonical echoes must be
+    // byte-identical), never substituted. Ad hoc axis flags are not
+    // consulted — they would be rejected as unknown options below.
+    const auto manifest =
+        core::CheckpointManifest::parse(slurp_or_die(state_dir +
+                                                     "/manifest.json"));
+    spec = manifest.spec;
+    if (workers <= 0) workers = manifest.workers;
+    if (!spec_path.empty()) {
+      const auto given = core::CampaignSpec::parse(slurp_or_die(spec_path));
+      std::ostringstream a;
+      std::ostringstream b;
+      given.write_json(a, 0);
+      spec.write_json(b, 0);
+      if (a.str() != b.str()) {
+        std::cerr << "--spec does not match the checkpointed campaign in "
+                  << state_dir << "\n";
+        return 1;
+      }
     }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    spec = core::CampaignSpec::parse(buf.str());
+  } else if (!spec_path.empty()) {
+    spec = core::CampaignSpec::parse(slurp_or_die(spec_path));
   } else {
     spec = campaign_spec_from_flags(cli);
   }
@@ -417,23 +459,46 @@ int cmd_campaign(core::Cli& cli) {
     return usage();
   }
 
-  exec::CampaignOptions options;
-  options.jobs = jobs;
-  std::atomic<int> started{0};
-  std::atomic<int> done{0};
   const int total = static_cast<int>(core::enumerate_shards(spec).size());
-  options.on_shard_start = [&started](const core::ShardSpec&) {
-    started.fetch_add(1, std::memory_order_relaxed);
-  };
-  options.on_result = [&started, &done, total](const core::ShardResult&) {
-    const int n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (n % 16 == 0 || n == total) {
-      std::cerr << "\r" << n << "/" << total << " shards done, "
-                << started.load(std::memory_order_relaxed) << " started"
-                << std::flush;
-    }
-  };
-  const auto result = exec::run_campaign(spec, options);
+  core::CampaignResult result;
+  if (workers > 0) {
+    exec::ProcessCampaignOptions options;
+    options.workers = workers;
+    options.resume = resume;
+    options.state_dir = state_dir;
+    // Workers re-exec this binary (the child's command line reads
+    // "campaign-worker", so it is visible and killable by name); if the
+    // self path cannot be resolved, fall back to fork-only children.
+    std::error_code ec;
+    const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) options.exe = self.string();
+    int done = 0;
+    options.on_record = [&done, total](const core::ShardResult&) {
+      ++done;
+      if (done % 16 == 0 || done == total) {
+        std::cerr << "\r" << done << "/" << total << " shards reduced"
+                  << std::flush;
+      }
+    };
+    result = exec::run_campaign_processes(spec, options);
+  } else {
+    exec::CampaignOptions options;
+    options.jobs = jobs;
+    std::atomic<int> started{0};
+    std::atomic<int> done{0};
+    options.on_shard_start = [&started](const core::ShardSpec&) {
+      started.fetch_add(1, std::memory_order_relaxed);
+    };
+    options.on_result = [&started, &done, total](const core::ShardResult&) {
+      const int n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n % 16 == 0 || n == total) {
+        std::cerr << "\r" << n << "/" << total << " shards done, "
+                  << started.load(std::memory_order_relaxed) << " started"
+                  << std::flush;
+      }
+    };
+    result = exec::run_campaign(spec, options);
+  }
   if (total > 0) std::cerr << "\n";
 
   std::ofstream out(out_path);
@@ -454,10 +519,60 @@ int cmd_campaign(core::Cli& cli) {
                std::to_string(a.packets_lost_total)});
   }
   table.print(std::cout);
-  std::cout << result.runs.size() << " shards, jobs=" << result.jobs
-            << ", wall " << stats::Table::num(result.wall_seconds, 2)
+  if (spec.random_sites > 0) {
+    stats::Table surv({"class", "draws", "affected", "failed", "avail mean",
+                       "avail p50", "avail min", "rel<=10ms", "rel<=100ms"});
+    for (const auto& a : core::aggregate_survivability(
+             result.runs, spec.horizon - spec.fail_at)) {
+      surv.row({a.key, std::to_string(a.draws), std::to_string(a.affected),
+                std::to_string(a.failed),
+                stats::Table::num(a.availability_mean, 4),
+                stats::Table::num(a.availability_p50, 4),
+                stats::Table::num(a.availability_min, 4),
+                stats::Table::num(a.reliability[1], 3),
+                stats::Table::num(a.reliability[2], 3)});
+    }
+    surv.print(std::cout);
+  }
+  std::cout << result.runs.size() << " shards, ";
+  if (result.workers > 0) {
+    std::cout << "workers=" << result.workers;
+  } else {
+    std::cout << "jobs=" << result.jobs;
+  }
+  std::cout << ", wall " << stats::Table::num(result.wall_seconds, 2)
             << "s, steals=" << result.steals << " -> " << out_path << "\n";
   return 0;
+}
+
+/// Hidden subcommand: one forked campaign worker. The parent invokes
+/// `f2tsim campaign-worker --spec <state>/spec.json --shards a:b --out
+/// <state>/worker-<i>.jsonl`; not advertised in usage() because users
+/// never run it by hand.
+int cmd_campaign_worker(core::Cli& cli) {
+  const std::string spec_path = cli.get("spec", "");
+  const std::string shards = cli.get("shards", "");
+  const std::string out_path = cli.get("out", "");
+  if (const auto unknown = cli.unknown_keys(); !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << "\n";
+    return 2;
+  }
+  if (spec_path.empty() || shards.empty() || out_path.empty()) {
+    std::cerr << "campaign-worker needs --spec, --shards and --out\n";
+    return 2;
+  }
+  const auto spec = core::CampaignSpec::parse(slurp_or_die(spec_path));
+  const auto ranges = core::parse_shard_ranges(shards);
+  // Append mode: on --resume the stream already holds this worker's
+  // earlier records and new ones must follow them.
+  std::ofstream out(out_path, std::ios::binary | std::ios::app);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  exec::run_campaign_worker(spec, ranges, out);
+  out.flush();
+  return out.good() ? 0 : 1;
 }
 
 int cmd_topo(core::Cli& cli) {
@@ -509,6 +624,7 @@ int main(int argc, char** argv) {
     if (cli.command() == "recover") return cmd_recover(cli);
     if (cli.command() == "workload") return cmd_workload(cli);
     if (cli.command() == "campaign") return cmd_campaign(cli);
+    if (cli.command() == "campaign-worker") return cmd_campaign_worker(cli);
     if (cli.command() == "topo") return cmd_topo(cli);
     if (cli.command() == "table1") return cmd_table1(cli);
     std::cerr << "unknown command: " << cli.command() << "\n";
