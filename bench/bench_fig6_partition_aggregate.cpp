@@ -13,11 +13,24 @@
 ///
 /// Runtime: the full 600 s emulation runs by default; set
 /// F2T_FIG6_SECONDS to shrink it (counts scale accordingly).
+///
+/// A second section sweeps the incast fan-in (8/32/128 workers per round)
+/// with the trace-shaped TcpWorkload generator on a fat-16 (1024 hosts) —
+/// the worker counts Fig 6's 8-way partition-aggregate cannot reach — and
+/// cross-checks the generator at fan-in 8 against PartitionAggregateApp
+/// on the same fabric: one round of the incast generator and one
+/// partition-aggregate request are the same traffic shape (N workers,
+/// 2 KB responses, one aggregator), so their completion-time medians must
+/// agree to within the request-leg overhead.
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
+#include "stats/percentile.hpp"
+#include "transport/workload.hpp"
 
 using namespace f2t;
 using namespace f2t::bench;
@@ -103,6 +116,69 @@ Fig6Result run_fig6(const core::Testbed::TopoBuilder& builder,
   return out;
 }
 
+struct IncastRow {
+  std::size_t rounds = 0;
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  double flow_fct_p99_ms = 0;
+  double round_p50_ms = 0;   ///< per-round completion (max over workers)
+  double round_miss = 0;     ///< rounds beyond the 250 ms deadline
+};
+
+IncastRow run_incast(core::Testbed& bed, std::size_t fanin,
+                     sim::Time window) {
+  transport::WorkloadOptions o;
+  o.kind = transport::WorkloadKind::kIncast;
+  o.fanin = fanin;
+  o.incast_bytes = 2048;  // PartitionAggregateOptions::response_bytes
+  o.incast_interval = sim::millis(100);
+  o.start = bed.sim().now() + sim::millis(10);
+  o.stop = o.start + window;
+  o.deadline = sim::millis(250);
+  transport::TcpWorkload wl(bed.stacks(), sim::Random(77 + fanin), o);
+  wl.start();
+  bed.sim().run(o.stop + sim::seconds(5));  // drain the last rounds
+
+  IncastRow row;
+  row.flows = wl.launched();
+  row.completed = wl.completed();
+  // A round's flows share one launch timestamp; the round completes when
+  // its slowest worker response lands (what the aggregator waits for).
+  std::map<sim::Time, std::pair<sim::Time, bool>> rounds;  // start -> max/ok
+  std::vector<double> fct_ms;
+  for (const auto& s : wl.samples()) {
+    auto& [max_finish, complete] = rounds.try_emplace(s.start, 0, true)
+                                       .first->second;
+    if (s.finish == sim::kNever) {
+      complete = false;
+    } else {
+      max_finish = std::max(max_finish, s.finish);
+      fct_ms.push_back(sim::to_millis(s.finish - s.start));
+    }
+  }
+  row.rounds = rounds.size();
+  std::vector<double> round_ms;
+  std::size_t missed = 0;
+  for (const auto& [start, r] : rounds) {
+    if (!r.second) {
+      ++missed;
+      continue;
+    }
+    const sim::Time completion = r.first - start;
+    round_ms.push_back(sim::to_millis(completion));
+    if (completion > o.deadline) ++missed;
+  }
+  std::sort(fct_ms.begin(), fct_ms.end());
+  std::sort(round_ms.begin(), round_ms.end());
+  row.flow_fct_p99_ms = stats::nearest_rank_sorted(fct_ms, 0.99);
+  row.round_p50_ms = stats::nearest_rank_sorted(round_ms, 0.50);
+  if (!rounds.empty()) {
+    row.round_miss = static_cast<double>(missed) /
+                     static_cast<double>(rounds.size());
+  }
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -168,5 +244,59 @@ int main() {
             << stats::Table::percent(f21, 3) << "; 5 CF: "
             << stats::Table::percent(fat5, 3) << " -> "
             << stats::Table::percent(f25, 3) << "\n";
+
+  // Fan-in sweep: the trace-shaped incast generator on a 1024-host
+  // fat-16, no failures — how the tail grows with the worker count, past
+  // the 8-way shape Fig 6 is limited to.
+  stats::print_heading(std::cout,
+                       "Incast fan-in sweep (fat-16, 2 KB responses, "
+                       "100 ms cadence, deadline 250 ms)");
+  core::Testbed sweep_bed(fat_tree_builder(16));
+  sweep_bed.converge();
+  const sim::Time window = sim::seconds(5);
+  stats::Table sweep({"Fan-in", "Rounds", "Flows", "Completed",
+                      "Flow FCT p99 (ms)", "Round p50 (ms)", "Round miss"});
+  double incast8_round_p50 = 0;
+  for (const std::size_t fanin : {8, 32, 128}) {
+    const auto row = run_incast(sweep_bed, fanin, window);
+    if (fanin == 8) incast8_round_p50 = row.round_p50_ms;
+    sweep.row({std::to_string(fanin), std::to_string(row.rounds),
+               std::to_string(row.flows), std::to_string(row.completed),
+               stats::Table::num(row.flow_fct_p99_ms, 2),
+               stats::Table::num(row.round_p50_ms, 2),
+               stats::Table::percent(row.round_miss, 3)});
+  }
+  sweep.print(std::cout);
+
+  // Cross-check: 8-way partition-aggregate on the same fabric is the same
+  // traffic shape as one incast round plus the 100 B request leg, so the
+  // median completions must sit within 2x of each other.
+  transport::PartitionAggregateOptions pa;
+  pa.fanout = 8;
+  pa.start = sweep_bed.sim().now() + sim::millis(10);
+  pa.stop = pa.start + window;
+  pa.mean_interarrival = sim::millis(100);
+  transport::PartitionAggregateApp pa_app(sweep_bed.stacks(),
+                                          sim::Random(4242), pa);
+  pa_app.start();
+  sweep_bed.sim().run(pa.stop + sim::seconds(5));
+  std::vector<double> pa_ms;
+  for (const auto t : pa_app.completion_times()) {
+    pa_ms.push_back(sim::to_millis(t));
+  }
+  const double pa_p50 = stats::nearest_rank_sorted(pa_ms, 0.50);
+  const bool consistent = incast8_round_p50 > 0 && pa_p50 > 0 &&
+                          pa_p50 < 2 * incast8_round_p50 &&
+                          incast8_round_p50 < 2 * pa_p50;
+  std::cout << "cross-check at fan-in 8: incast round p50 "
+            << stats::Table::num(incast8_round_p50, 2)
+            << " ms vs partition-aggregate request p50 "
+            << stats::Table::num(pa_p50, 2) << " ms ("
+            << (consistent ? "consistent" : "INCONSISTENT") << ")\n";
+  if (!consistent) {
+    std::cerr << "bench_fig6: incast generator and partition-aggregate app "
+                 "disagree at fan-in 8\n";
+    return 1;
+  }
   return 0;
 }

@@ -400,6 +400,59 @@ else
   fail=1
 fi
 
+echo "== workload campaign smoke =="
+# An incast TCP workload riding a packet-fidelity campaign must produce a
+# deterministic SLO section (byte-identical across job counts) with sane
+# FCT percentiles, while workload-free artifacts above stay untouched.
+if "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1 \
+      --seeds 2 --jobs 4 --no-profile \
+      --workload incast --wl-fanin 4 --wl-flow-bytes 2000 --wl-deadline-ms 100 \
+      --out "$OUT/campaign_wl_j4.json" >"$OUT/campaign_wl.txt" 2>&1 \
+    && "$BUILD"/tools/f2tsim campaign --topo f2 --ports 4 --conditions C1 \
+      --seeds 2 --jobs 1 --no-profile \
+      --workload incast --wl-fanin 4 --wl-flow-bytes 2000 --wl-deadline-ms 100 \
+      --out "$OUT/campaign_wl_j1.json" >>"$OUT/campaign_wl.txt" 2>&1; then
+  if ! cmp -s "$OUT/campaign_wl_j1.json" "$OUT/campaign_wl_j4.json"; then
+    echo "BAD     workload campaign artifact differs between --jobs 1 and --jobs 4"
+    fail=1
+  fi
+  python3 - "$OUT/campaign_wl_j4.json" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc["spec"].get("workload", {}).get("kind") != "incast":
+        raise ValueError("spec must echo the workload axis")
+    slo = doc["slo"]
+    for key in ("runs", "flows", "completed", "fct_p50_ms_mean",
+                "fct_p99_ms_mean", "fct_p999_ms_mean", "fct_p99_ms_max",
+                "fct_p999_ms_max", "deadline_flows_in", "deadline_flows_out",
+                "miss_in", "miss_out"):
+        if key not in slo:
+            raise ValueError(f"slo aggregate missing key {key!r}")
+    if not (0 < slo["flows"] and 0 < slo["completed"] <= slo["flows"]):
+        raise ValueError(f"implausible flow counts {slo}")
+    if not (0 < slo["fct_p50_ms_mean"] <= slo["fct_p99_ms_mean"]
+            <= slo["fct_p999_ms_mean"]):
+        raise ValueError("FCT percentile means out of order")
+    for r in doc["runs"]:
+        for key in ("slo_flows", "fct_p50_ms", "fct_p999_ms", "miss_in"):
+            if key not in r:
+                raise ValueError(f"run {r['i']} missing SLO key {key!r}")
+    print(f"OK      {path} ({slo['flows']} flows, "
+          f"p999 max {slo['fct_p999_ms_max']:.2f} ms)")
+except (OSError, KeyError, ValueError, json.JSONDecodeError) as e:
+    print(f"BAD     {path}: {e}")
+    sys.exit(1)
+EOF
+  [ $? -eq 0 ] || fail=1
+else
+  echo "workload campaign smoke FAILED (see $OUT/campaign_wl.txt)"
+  fail=1
+fi
+
 echo "== benches =="
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue
@@ -411,7 +464,7 @@ done
 
 echo "== release bench smoke =="
 if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.txt" 2>&1 \
-    && cmake --build "$RBUILD" -j --target bench_micro bench_spf bench_scale_sweep >"$OUT/release_build.txt" 2>&1; then
+    && cmake --build "$RBUILD" -j --target bench_micro bench_spf bench_scale_sweep bench_flow_scale >"$OUT/release_build.txt" 2>&1; then
   mkdir -p "$OUT/release"
   if ! (cd "$OUT/release" && "../../$RBUILD/bench/bench_micro" \
         --benchmark_min_time=0.05) >"$OUT/release/bench_micro.txt" 2>&1; then
@@ -435,6 +488,15 @@ if cmake -B "$RBUILD" -S . -DCMAKE_BUILD_TYPE=Release >"$OUT/release_configure.t
     echo "release bench_scale_sweep FAILED or blew the 600 s budget (see $OUT/release/bench_scale_sweep.txt)"
     fail=1
   fi
+  # The flow-scale transport path: arena-backed FluidFlowTable churn at
+  # 10^3..10^5 concurrent flows plus a 10^5-flow workload window. The
+  # wall-time budget fails the smoke if per-flow-event cost stops being
+  # flat in the flow count.
+  if ! (cd "$OUT/release" && timeout 600 "../../$RBUILD/bench/bench_flow_scale") \
+      >"$OUT/release/bench_flow_scale.txt" 2>&1; then
+    echo "release bench_flow_scale FAILED or blew the 600 s budget (see $OUT/release/bench_flow_scale.txt)"
+    fail=1
+  fi
 else
   echo "release build FAILED (see $OUT/release_build.txt)"
   fail=1
@@ -449,7 +511,7 @@ import glob, json, os, sys
 out = sys.argv[1]
 paths = sorted(glob.glob(os.path.join(out, "**", "BENCH_*.json"), recursive=True))
 ok = True
-for bench in ("micro", "spf", "scale_sweep"):
+for bench in ("micro", "spf", "scale_sweep", "flow_scale"):
     required = os.path.join(out, "release", f"BENCH_{bench}.json")
     if required not in paths:
         print(f"MISSING {required}: release bench_{bench} smoke produced no JSON")
@@ -507,6 +569,38 @@ else:
     print(f"{status} flow-level speedup at k=20: {ratio:.1f}x "
           f"(packet {packet:.1f} ms vs flow {flow:.1f} ms, need >= 10x)")
     ok = ok and ratio >= 10
+sys.exit(0 if ok else 1)
+EOF
+[ $? -eq 0 ] || fail=1
+
+echo "== flow-scale guards =="
+# Hard gates on the Release flow-scale bench: the 10^5-flow churn row must
+# exist (the sweep completed at full scale), the arena table must beat the
+# embedded pre-arena implementation by >= 5x at 10^4 flows, and the
+# workload window must actually have held ~10^5 concurrent flows.
+python3 - "$OUT/release/BENCH_flow_scale.json" <<'EOF'
+import json, sys
+
+try:
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+except OSError as e:
+    print(f"MISSING {sys.argv[1]}: {e}")
+    sys.exit(1)
+vals = {r["name"]: r["value"] for r in doc["results"]}
+ok = True
+if "events_per_s/arena/n=100000" not in vals:
+    print("FAIL    10^5-flow churn row missing (sweep did not reach full scale)")
+    ok = False
+speedup = vals.get("speedup_vs_legacy/n=10000", 0.0)
+status = "OK     " if speedup >= 5 else "FAIL   "
+print(f"{status} arena vs pre-arena at 10^4 flows: {speedup:.1f}x (need >= 5x)")
+ok = ok and speedup >= 5
+peak = vals.get("peak_active/workload", 0)
+status = "OK     " if peak >= 100000 else "FAIL   "
+print(f"{status} workload window peak concurrency: {peak:.0f} flows "
+      "(need >= 100000)")
+ok = ok and peak >= 100000
 sys.exit(0 if ok else 1)
 EOF
 [ $? -eq 0 ] || fail=1

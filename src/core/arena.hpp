@@ -1,0 +1,221 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace f2t::core {
+
+/// Index sentinel shared by the arena and the intrusive containers.
+inline constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
+
+/// Handle layout, shared by every Arena<T> instantiation: slot index in
+/// the low 24 bits, slot generation in the high 8.
+inline constexpr std::uint32_t kHandleIndexBits = 24;
+inline constexpr std::uint32_t kHandleIndexMask = (1u << kHandleIndexBits) - 1;
+
+/// Typed slab arena with generation-checked 32-bit handles.
+///
+/// The flow-scale bookkeeping problem: a simulation holding 10^5..10^6
+/// concurrent flows cannot afford one heap object per flow (allocator
+/// traffic, pointer chasing, 8-byte handles) nor `std::vector` erase/compact
+/// churn. The arena packs objects into fixed-size slabs (stable addresses —
+/// slabs never move or shrink), recycles released slots through a free list
+/// (O(1) alloc/release, amortized zero allocation in steady state), and
+/// hands out 32-bit handles of the form `slot index (24 bits) | generation
+/// (8 bits) << 24`. The generation advances on every release, so a stale
+/// handle held across a release/realloc of the same slot is *detected*
+/// rather than silently aliasing the new tenant.
+///
+/// Deliberate non-feature: released slots are neither destroyed nor reset,
+/// and alloc() does not re-construct. A recycled object keeps whatever the
+/// previous tenant left — including grown std::vector capacities, which is
+/// exactly what per-flow path/hop buffers want — and the caller resets the
+/// fields it cares about. T must be default-constructible.
+template <typename T>
+class Arena {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNullHandle = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kIndexBits = kHandleIndexBits;
+  static constexpr std::uint32_t kIndexMask = kHandleIndexMask;
+  /// Index kIndexMask is never allocated so no live handle equals
+  /// kNullHandle (whose index bits are all ones).
+  static constexpr std::uint32_t kMaxSlots = kIndexMask;
+
+  static std::uint32_t index_of(Handle h) { return h & kIndexMask; }
+  static std::uint8_t generation_of(Handle h) {
+    return static_cast<std::uint8_t>(h >> kIndexBits);
+  }
+
+  /// Returns a handle to a default-constructed-or-recycled slot.
+  Handle alloc() {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      if (slots_ >= kMaxSlots) {
+        throw std::length_error("Arena: slot space exhausted");
+      }
+      idx = static_cast<std::uint32_t>(slots_);
+      if ((idx >> kChunkShift) >= slabs_.size()) {
+        slabs_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+      ++slots_;
+    }
+    Slot& s = slot(idx);
+    s.live = true;
+    ++live_;
+    return idx | (static_cast<Handle>(s.gen) << kIndexBits);
+  }
+
+  /// Invalidates `h` and recycles its slot. Throws on stale/invalid
+  /// handles — a double release is always a caller bug.
+  void release(Handle h) {
+    Slot& s = checked_slot(h);
+    s.live = false;
+    ++s.gen;  // uint8 wrap is fine: 256 reuses per false-positive chance
+    --live_;
+    free_.push_back(index_of(h));
+  }
+
+  T& get(Handle h) { return checked_slot(h).value; }
+  const T& get(Handle h) const {
+    return const_cast<Arena*>(this)->checked_slot(h).value;
+  }
+
+  /// nullptr instead of throwing when `h` is stale or invalid.
+  T* try_get(Handle h) {
+    const std::uint32_t idx = index_of(h);
+    if (idx >= slots_) return nullptr;
+    Slot& s = slot(idx);
+    if (!s.live || s.gen != generation_of(h)) return nullptr;
+    return &s.value;
+  }
+  const T* try_get(Handle h) const { return const_cast<Arena*>(this)->try_get(h); }
+
+  bool contains(Handle h) const {
+    return const_cast<Arena*>(this)->try_get(h) != nullptr;
+  }
+
+  /// Unchecked-by-generation access for intrusive containers, which store
+  /// raw slot indices of objects they know to be live.
+  T& at_index(std::uint32_t idx) { return slot(idx).value; }
+  const T& at_index(std::uint32_t idx) const {
+    return const_cast<Arena*>(this)->slot(idx).value;
+  }
+
+  /// Rebuilds the current handle of a live slot index.
+  Handle handle_of_index(std::uint32_t idx) const {
+    const Slot& s = const_cast<Arena*>(this)->slot(idx);
+    return idx | (static_cast<Handle>(s.gen) << kIndexBits);
+  }
+
+  std::size_t live_count() const { return live_; }
+  std::size_t slot_count() const { return slots_; }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 12;  // 4096 slots per slab
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  struct Slot {
+    T value{};
+    std::uint8_t gen = 0;
+    bool live = false;
+  };
+
+  Slot& slot(std::uint32_t idx) {
+    return slabs_[idx >> kChunkShift][idx & kChunkMask];
+  }
+
+  Slot& checked_slot(Handle h) {
+    const std::uint32_t idx = index_of(h);
+    if (idx >= slots_) throw std::out_of_range("Arena: handle out of range");
+    Slot& s = slot(idx);
+    if (!s.live || s.gen != generation_of(h)) {
+      throw std::out_of_range("Arena: stale handle");
+    }
+    return s;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+  std::size_t slots_ = 0;
+  std::size_t live_ = 0;
+};
+
+/// Link block embedded in arena objects for IntrusiveList membership.
+/// One ListLink member per list the object can be on.
+struct ListLink {
+  std::uint32_t prev = kNilIndex;
+  std::uint32_t next = kNilIndex;
+};
+
+/// Doubly-linked list threaded through arena slots via an embedded
+/// ListLink member. Stores raw slot indices (members are live by
+/// construction — a slot is unlinked before release). O(1) push/erase, no
+/// allocation, and iteration touches only list members — never O(slots).
+///
+///   for (auto i = list.head(); i != core::kNilIndex; i = list.next(a, i))
+template <typename T, ListLink T::* LinkField>
+class IntrusiveList {
+ public:
+  std::uint32_t head() const { return head_; }
+  std::uint32_t tail() const { return tail_; }
+  bool empty() const { return head_ == kNilIndex; }
+  std::size_t size() const { return size_; }
+
+  std::uint32_t next(const Arena<T>& a, std::uint32_t idx) const {
+    return (a.at_index(idx).*LinkField).next;
+  }
+  std::uint32_t prev(const Arena<T>& a, std::uint32_t idx) const {
+    return (a.at_index(idx).*LinkField).prev;
+  }
+
+  void push_back(Arena<T>& a, std::uint32_t idx) {
+    ListLink& link = a.at_index(idx).*LinkField;
+    link.prev = tail_;
+    link.next = kNilIndex;
+    if (tail_ != kNilIndex) {
+      (a.at_index(tail_).*LinkField).next = idx;
+    } else {
+      head_ = idx;
+    }
+    tail_ = idx;
+    ++size_;
+  }
+
+  void erase(Arena<T>& a, std::uint32_t idx) {
+    ListLink& link = a.at_index(idx).*LinkField;
+    if (link.prev != kNilIndex) {
+      (a.at_index(link.prev).*LinkField).next = link.next;
+    } else {
+      head_ = link.next;
+    }
+    if (link.next != kNilIndex) {
+      (a.at_index(link.next).*LinkField).prev = link.prev;
+    } else {
+      tail_ = link.prev;
+    }
+    link.prev = kNilIndex;
+    link.next = kNilIndex;
+    --size_;
+  }
+
+  void clear() {
+    head_ = kNilIndex;
+    tail_ = kNilIndex;
+    size_ = 0;
+  }
+
+ private:
+  std::uint32_t head_ = kNilIndex;
+  std::uint32_t tail_ = kNilIndex;
+  std::size_t size_ = 0;
+};
+
+}  // namespace f2t::core

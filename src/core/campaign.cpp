@@ -81,7 +81,7 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
                     "spf_ms", "fail_at_ms", "horizon_ms", "detection",
                     "bfd_tx_ms", "bfd_multiplier", "dampening", "fault",
                     "gray_loss", "flap_period_ms", "flap_cycles", "fidelity",
-                    "trace", "sample_interval_ms", "random_sites"},
+                    "trace", "sample_interval_ms", "random_sites", "workload"},
                    "spec");
   CampaignSpec spec;
   spec.name = doc.string_or("name", spec.name);
@@ -195,6 +195,48 @@ CampaignSpec CampaignSpec::from_json(const json::Value& doc) {
   if (spec.random_sites < 0) {
     throw std::invalid_argument("campaign: negative random_sites");
   }
+  if (const json::Value* workload = doc.find("workload")) {
+    check_known_keys(*workload,
+                     {"kind", "size_dist", "load", "fanin", "flow_bytes",
+                      "deadline_ms"},
+                     "workload");
+    WorkloadAxis& wl = spec.workload;
+    wl.enabled = true;
+    wl.kind = workload->string_or("kind", wl.kind);
+    if (wl.kind != "poisson" && wl.kind != "incast") {
+      throw std::invalid_argument("campaign: unknown workload kind \"" +
+                                  wl.kind + "\" (poisson|incast)");
+    }
+    wl.size_dist = workload->string_or("size_dist", wl.size_dist);
+    if (wl.size_dist != "websearch" && wl.size_dist != "datamining") {
+      throw std::invalid_argument("campaign: unknown workload size_dist \"" +
+                                  wl.size_dist +
+                                  "\" (websearch|datamining)");
+    }
+    wl.load = workload->number_or("load", wl.load);
+    if (!(wl.load > 0) || wl.load > 1) {
+      throw std::invalid_argument("campaign: workload load outside (0, 1]");
+    }
+    wl.fanin = static_cast<int>(workload->int_or("fanin", wl.fanin));
+    if (wl.fanin < 1) {
+      throw std::invalid_argument("campaign: workload fanin < 1");
+    }
+    wl.flow_bytes = static_cast<std::uint64_t>(workload->int_or(
+        "flow_bytes", static_cast<std::int64_t>(wl.flow_bytes)));
+    if (wl.flow_bytes < 1) {
+      throw std::invalid_argument("campaign: workload flow_bytes < 1");
+    }
+    wl.deadline_ms =
+        static_cast<int>(workload->int_or("deadline_ms", wl.deadline_ms));
+    if (wl.deadline_ms < 0) {
+      throw std::invalid_argument("campaign: negative workload deadline_ms");
+    }
+    if (spec.fidelity == "flow") {
+      throw std::invalid_argument(
+          "campaign: workload requires packet fidelity (the fluid probe "
+          "has no host stacks to carry TCP flows)");
+    }
+  }
   if (spec.conditions.empty() && spec.link_sites == 0 &&
       spec.random_sites == 0) {
     throw std::invalid_argument(
@@ -271,6 +313,15 @@ void CampaignSpec::write_json(std::ostream& os, int indent) const {
   }
   if (random_sites != defaults.random_sites) {
     os << ",\n" << pad << "  \"random_sites\": " << random_sites;
+  }
+  if (workload.enabled) {
+    os << ",\n"
+       << pad << "  \"workload\": {\"kind\": \"" << workload.kind
+       << "\", \"size_dist\": \"" << workload.size_dist
+       << "\", \"load\": " << fmt(workload.load)
+       << ", \"fanin\": " << workload.fanin
+       << ", \"flow_bytes\": " << workload.flow_bytes
+       << ", \"deadline_ms\": " << workload.deadline_ms << "}";
   }
   os << "\n" << pad << "}";
 }
@@ -560,6 +611,17 @@ void write_shard_record(std::ostream& os, const ShardResult& r) {
     os << ", \"queue_p99\": " << fmt_exact(r.queue_p99)
        << ", \"queue_max\": " << fmt_exact(r.queue_max);
   }
+  if (r.slo) {
+    os << ", \"slo_flows\": " << r.slo_flows
+       << ", \"slo_completed\": " << r.slo_completed
+       << ", \"fct_p50_ms\": " << fmt_exact(r.fct_p50_ms)
+       << ", \"fct_p99_ms\": " << fmt_exact(r.fct_p99_ms)
+       << ", \"fct_p999_ms\": " << fmt_exact(r.fct_p999_ms)
+       << ", \"dl_in\": " << r.slo_deadline_in
+       << ", \"dl_out\": " << r.slo_deadline_out
+       << ", \"miss_in\": " << fmt_exact(r.slo_miss_in)
+       << ", \"miss_out\": " << fmt_exact(r.slo_miss_out);
+  }
   if (!r.error.empty()) {
     os << ", \"error\": \"" << json::escape(r.error) << "\"";
   }
@@ -600,6 +662,19 @@ ShardResult parse_shard_record(std::string_view line) {
     r.queue_rollup = true;
     r.queue_p99 = p99->as_double();
     r.queue_max = doc.at("queue_max").as_double();
+  }
+  if (const json::Value* slo_flows = doc.find("slo_flows")) {
+    r.slo = true;
+    r.slo_flows = static_cast<std::size_t>(slo_flows->as_int());
+    r.slo_completed =
+        static_cast<std::size_t>(doc.at("slo_completed").as_int());
+    r.fct_p50_ms = doc.at("fct_p50_ms").as_double();
+    r.fct_p99_ms = doc.at("fct_p99_ms").as_double();
+    r.fct_p999_ms = doc.at("fct_p999_ms").as_double();
+    r.slo_deadline_in = static_cast<std::size_t>(doc.at("dl_in").as_int());
+    r.slo_deadline_out = static_cast<std::size_t>(doc.at("dl_out").as_int());
+    r.slo_miss_in = doc.at("miss_in").as_double();
+    r.slo_miss_out = doc.at("miss_out").as_double();
   }
   if (const json::Value* error = doc.find("error")) {
     r.error = error->as_string();
@@ -667,6 +742,17 @@ void CampaignResult::write_json(std::ostream& os,
            << ", \"queue_max\": " << fmt(r.queue_max);
       }
     }
+    if (spec.workload.enabled && r.slo) {
+      os << ", \"slo_flows\": " << r.slo_flows
+         << ", \"slo_completed\": " << r.slo_completed
+         << ", \"fct_p50_ms\": " << fmt(r.fct_p50_ms)
+         << ", \"fct_p99_ms\": " << fmt(r.fct_p99_ms)
+         << ", \"fct_p999_ms\": " << fmt(r.fct_p999_ms)
+         << ", \"dl_in\": " << r.slo_deadline_in
+         << ", \"dl_out\": " << r.slo_deadline_out
+         << ", \"miss_in\": " << fmt(r.slo_miss_in)
+         << ", \"miss_out\": " << fmt(r.slo_miss_out);
+    }
     if (!r.error.empty()) {
       os << ", \"error\": \"" << json::escape(r.error) << "\"";
     }
@@ -712,6 +798,54 @@ void CampaignResult::write_json(std::ostream& os,
       os << "]}" << (i + 1 < surv.size() ? "," : "") << "\n";
     }
     os << "  ]}";
+  }
+  if (spec.workload.enabled) {
+    // Campaign-level SLO rollup over the shards that carried the
+    // workload: flow totals, the mean/max of the per-run FCT tail
+    // percentiles, and the *pooled* deadline-miss fractions (weighted by
+    // each run's deadline-bearing flow count — a run with 10x the flows
+    // moves the pooled fraction 10x as much).
+    int slo_runs = 0;
+    std::size_t flows = 0;
+    std::size_t completed = 0;
+    std::size_t dl_in = 0;
+    std::size_t dl_out = 0;
+    double missed_in = 0;
+    double missed_out = 0;
+    double p50_sum = 0;
+    double p99_sum = 0;
+    double p999_sum = 0;
+    double p99_max = 0;
+    double p999_max = 0;
+    for (const ShardResult& r : runs) {
+      if (!r.slo) continue;
+      ++slo_runs;
+      flows += r.slo_flows;
+      completed += r.slo_completed;
+      dl_in += r.slo_deadline_in;
+      dl_out += r.slo_deadline_out;
+      missed_in += r.slo_miss_in * static_cast<double>(r.slo_deadline_in);
+      missed_out += r.slo_miss_out * static_cast<double>(r.slo_deadline_out);
+      p50_sum += r.fct_p50_ms;
+      p99_sum += r.fct_p99_ms;
+      p999_sum += r.fct_p999_ms;
+      p99_max = std::max(p99_max, r.fct_p99_ms);
+      p999_max = std::max(p999_max, r.fct_p999_ms);
+    }
+    const double n = slo_runs > 0 ? static_cast<double>(slo_runs) : 1;
+    os << ",\n  \"slo\": {\"runs\": " << slo_runs << ", \"flows\": " << flows
+       << ", \"completed\": " << completed
+       << ", \"fct_p50_ms_mean\": " << fmt(p50_sum / n)
+       << ", \"fct_p99_ms_mean\": " << fmt(p99_sum / n)
+       << ", \"fct_p999_ms_mean\": " << fmt(p999_sum / n)
+       << ", \"fct_p99_ms_max\": " << fmt(p99_max)
+       << ", \"fct_p999_ms_max\": " << fmt(p999_max)
+       << ", \"deadline_flows_in\": " << dl_in
+       << ", \"deadline_flows_out\": " << dl_out << ", \"miss_in\": "
+       << fmt(dl_in > 0 ? missed_in / static_cast<double>(dl_in) : 0)
+       << ", \"miss_out\": "
+       << fmt(dl_out > 0 ? missed_out / static_cast<double>(dl_out) : 0)
+       << "}";
   }
   if (include_profile) {
     double shard_wall = 0;

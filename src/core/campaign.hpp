@@ -77,6 +77,26 @@ struct CampaignSpec {
   /// unsampled artifact's event counts).
   bool trace = false;
   int sample_interval_ms = 0;
+  /// Trace-shaped workload axis (transport/workload.hpp): when enabled,
+  /// every shard additionally carries a TCP background workload across
+  /// all host stacks — Poisson arrivals drawn from an empirical
+  /// flow-size CDF, or periodic incast fan-in rounds — and the per-run
+  /// records gain the tail-latency SLO rollup (FCT p50/p99/p999,
+  /// deadline-miss split by the failure window). Packet fidelity only
+  /// (the fluid probe has no host stacks); from_json rejects the
+  /// combination. Default disabled: the spec key, the per-run fields and
+  /// the aggregate "slo" section are all omitted, keeping older
+  /// artifacts byte-identical.
+  struct WorkloadAxis {
+    bool enabled = false;
+    std::string kind = "poisson";         ///< "poisson" | "incast"
+    std::string size_dist = "websearch";  ///< "websearch" | "datamining"
+    double load = 0.1;  ///< poisson: offered load, fraction of host uplink
+    int fanin = 8;      ///< incast: workers per aggregation round
+    std::uint64_t flow_bytes = 20'000;  ///< incast: per-worker bytes
+    int deadline_ms = 250;  ///< per-flow deadline; 0 = best-effort
+  };
+  WorkloadAxis workload;
   /// Survivability sweep: per (topology, control), this many additional
   /// shards each fail one *randomly drawn* switch-to-switch link (the
   /// random failure process of the reliability/survivability methodology
@@ -161,6 +181,24 @@ struct ShardResult {
   bool queue_rollup = false;
   double queue_p99 = 0;
   double queue_max = 0;
+  /// Workload SLO rollup (filled when spec.workload.enabled and the
+  /// shard completed): flow counts and FCT tail percentiles from
+  /// stats::compute_slo over the shard's background flows. The
+  /// deadline-miss fractions split deadline-bearing flows by whether
+  /// they *started* inside the failure window [fail_at, horizon); the
+  /// flow counts make the campaign-level pooled miss fraction
+  /// weightable. Like queue_rollup, `slo` records whether the rollup
+  /// exists — artifacts omit the fields rather than fabricate zeros.
+  bool slo = false;
+  std::size_t slo_flows = 0;
+  std::size_t slo_completed = 0;
+  double fct_p50_ms = 0;
+  double fct_p99_ms = 0;
+  double fct_p999_ms = 0;
+  std::size_t slo_deadline_in = 0;
+  std::size_t slo_deadline_out = 0;
+  double slo_miss_in = 0;
+  double slo_miss_out = 0;
   /// Populated when the shard threw instead of completing: the exception
   /// message, recorded per shard so one poisoned axis value cannot abort
   /// the rest of the campaign. Emitted in the artifact only when

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "topo/aspen.hpp"
@@ -9,6 +10,7 @@
 #include "topo/vl2.hpp"
 #include "transport/fluid.hpp"
 #include "transport/udp_app.hpp"
+#include "transport/workload.hpp"
 
 namespace f2t::core {
 
@@ -149,9 +151,27 @@ UdpRun run_udp_plan_packet(Testbed& bed, const failure::ScenarioPlan& plan,
   transport::UdpCbrSender sender(src_stack, plan.dst->addr(), so);
   sender.start();
 
+  std::unique_ptr<transport::TcpWorkload> workload;
+  if (knobs.workload_enabled) {
+    auto wo = knobs.workload;
+    if (wo.stop > knobs.horizon) wo.stop = knobs.horizon;
+    workload = std::make_unique<transport::TcpWorkload>(
+        bed.stacks(),
+        sim::Random(sim::Random::derive_stream_seed(knobs.config.seed,
+                                                    kWorkloadStream)),
+        std::move(wo));
+    workload->start();
+  }
+
   failure::apply_fault(bed.topo(), bed.injector(), plan, knobs.fault,
                        knobs.fail_at);
   run_and_observe(bed, knobs.horizon, out.observation);
+
+  if (workload != nullptr) {
+    out.slo_enabled = true;
+    out.slo = stats::compute_slo(workload->samples(), knobs.fail_at,
+                                 knobs.horizon, knobs.horizon);
+  }
 
   out.packets_sent = sender.packets_sent();
   out.packets_lost =
@@ -175,6 +195,11 @@ UdpRun run_udp_plan_fluid(Testbed& bed, const failure::ScenarioPlan& plan,
     throw std::invalid_argument(
         "flow fidelity requires oracle detection (BFD hello timing "
         "interleaves with probe serialization); use packet fidelity");
+  }
+  if (knobs.workload_enabled) {
+    throw std::invalid_argument(
+        "flow fidelity does not carry the TCP workload (no host stacks in "
+        "the fluid probe model); use packet fidelity");
   }
   UdpRun out;
   out.scenario = plan.description;

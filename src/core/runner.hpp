@@ -8,6 +8,7 @@
 #include "stats/flow_metrics.hpp"
 #include "stats/timeseries.hpp"
 #include "transport/tcp.hpp"
+#include "transport/workload.hpp"
 
 namespace f2t::core {
 
@@ -47,7 +48,22 @@ struct RunKnobs {
   /// see failure::FaultSpec for the unidirectional/gray/flap models).
   failure::FaultSpec fault;
   Fidelity fidelity = Fidelity::kPacket;
+  /// Optional trace-shaped background workload riding the probe run
+  /// (transport/workload.hpp): TCP flows across every host stack, drawn
+  /// from their own RNG stream (kWorkloadStream split of config.seed) so
+  /// the probe's packet schedule perturbs but the workload's draws do
+  /// not depend on run order. Packet fidelity only — the fluid probe has
+  /// no host stacks to carry TCP flows, and refuses the combination.
+  /// When enabled, UdpRun.slo summarizes the workload's flow completion
+  /// times against `workload.deadline` with the failure window
+  /// [fail_at, horizon) splitting the miss fraction.
+  bool workload_enabled = false;
+  transport::WorkloadOptions workload;
 };
+
+/// RNG stream id the workload generator is split from (distinct from
+/// every per-shard stream the campaign engine derives).
+inline constexpr std::uint64_t kWorkloadStream = 0x776b6c64;  // "wkld"
 
 /// CBR UDP probe through a failure condition (Fig 2(a), Fig 4, Fig 5,
 /// Table III columns 1-2).
@@ -71,6 +87,12 @@ struct UdpRun {
   /// the packet engine additionally delivers loop-buffered packets at
   /// reconvergence (see tests/test_fidelity_property.cpp).
   std::uint64_t fluid_loop_traces = 0;
+  /// Populated when knobs.workload_enabled: tail-latency SLOs of the
+  /// background flows (FCT percentiles, slowdown, deadline-miss split by
+  /// the failure window). slo_enabled records whether the workload ran —
+  /// artifacts omit the section rather than fabricate zeros.
+  bool slo_enabled = false;
+  stats::SloSummary slo;
   /// Populated when knobs.config.observe is set: metrics snapshot at the
   /// horizon, the full event journal, and the engine profile.
   obs::RunObservation observation;

@@ -22,6 +22,20 @@ core::ControlPlane control_from_name(const std::string& name) {
 
 }  // namespace
 
+transport::WorkloadOptions workload_options_of(
+    const core::CampaignSpec::WorkloadAxis& axis, sim::Time horizon) {
+  transport::WorkloadOptions wo;
+  wo.kind = axis.kind == "incast" ? transport::WorkloadKind::kIncast
+                                  : transport::WorkloadKind::kPoisson;
+  wo.sizes = transport::FlowSizeCdf::by_name(axis.size_dist);
+  wo.load = axis.load;
+  wo.fanin = static_cast<std::size_t>(axis.fanin);
+  wo.incast_bytes = axis.flow_bytes;
+  wo.deadline = sim::millis(axis.deadline_ms);
+  wo.stop = horizon;
+  return wo;
+}
+
 core::ShardResult run_shard(const core::CampaignSpec& spec,
                             const core::ShardSpec& shard) {
   core::RunKnobs knobs;
@@ -47,6 +61,10 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
   if (!core::parse_fidelity(spec.fidelity, knobs.fidelity)) {
     throw std::invalid_argument("campaign: unknown fidelity: " +
                                 spec.fidelity);
+  }
+  if (spec.workload.enabled) {
+    knobs.workload_enabled = true;
+    knobs.workload = workload_options_of(spec.workload, spec.horizon);
   }
 
   const auto builder = core::topology_builder(
@@ -92,6 +110,18 @@ core::ShardResult run_shard(const core::CampaignSpec& spec,
       r.queue_p99 = rollup->p99;
       r.queue_max = rollup->max;
     }
+  }
+  if (run.slo_enabled) {
+    r.slo = true;
+    r.slo_flows = run.slo.flows;
+    r.slo_completed = run.slo.completed;
+    r.fct_p50_ms = run.slo.fct_ms_p50;
+    r.fct_p99_ms = run.slo.fct_ms_p99;
+    r.fct_p999_ms = run.slo.fct_ms_p999;
+    r.slo_deadline_in = run.slo.deadline_flows_in_window;
+    r.slo_deadline_out = run.slo.deadline_flows_out_window;
+    r.slo_miss_in = run.slo.miss_in_window;
+    r.slo_miss_out = run.slo.miss_out_window;
   }
   return r;
 }

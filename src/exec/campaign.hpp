@@ -3,8 +3,16 @@
 #include <functional>
 
 #include "core/campaign.hpp"
+#include "transport/workload.hpp"
 
 namespace f2t::exec {
+
+/// Maps a spec's workload axis onto the generator options the runner
+/// consumes (CDF by name, kind, deadline in simulated time). Shared by
+/// run_shard and the CLI's one-off recover path so a standalone run
+/// reproduces a campaign shard's workload exactly.
+transport::WorkloadOptions workload_options_of(
+    const core::CampaignSpec::WorkloadAxis& axis, sim::Time horizon);
 
 /// Campaign engine: shards a core::CampaignSpec into independent
 /// simulations and runs them across a work-stealing ThreadPool.

@@ -30,9 +30,9 @@ void RandomFailureGenerator::schedule_next() {
   auto& sim = injector_.network().simulator();
   if (sim.now() >= options_.stop) return;
   maybe_fail();
-  const double gap_s = rng_.lognormal_median(options_.interarrival_median_s,
-                                             options_.interarrival_sigma);
-  sim.after(std::max<sim::Time>(sim::from_seconds(gap_s), sim::millis(1)),
+  sim.after(sim::lognormal_interval(rng_, options_.interarrival_median_s,
+                                    options_.interarrival_sigma,
+                                    sim::millis(1)),
             [this] { schedule_next(); });
 }
 
@@ -52,11 +52,10 @@ void RandomFailureGenerator::maybe_fail() {
     ++suppressed_;
     return;
   }
-  const double duration_s = rng_.lognormal_median(options_.duration_median_s,
-                                                  options_.duration_sigma);
   injector_.fail_for(*victim, sim.now(),
-                     std::max<sim::Time>(sim::from_seconds(duration_s),
-                                         sim::millis(100)));
+                     sim::lognormal_interval(rng_, options_.duration_median_s,
+                                             options_.duration_sigma,
+                                             sim::millis(100)));
   ++injected_;
 }
 

@@ -34,6 +34,7 @@ SamplerReport::Rollup rollup_column(const std::vector<SamplerReport::Row>& rows,
   r.name = name;
   r.p50 = stats::nearest_rank_sorted(column, 0.50);
   r.p99 = stats::nearest_rank_sorted(column, 0.99);
+  r.p999 = stats::nearest_rank_sorted(column, 0.999);
   r.max = column.back();
   return r;
 }
@@ -83,7 +84,8 @@ void SamplerReport::write_jsonl(std::ostream& os) const {
     if (i > 0) os << ", ";
     os << "{\"name\": \"" << rolled[i].name << "\", \"p50\": "
        << fmt(rolled[i].p50) << ", \"p99\": " << fmt(rolled[i].p99)
-       << ", \"max\": " << fmt(rolled[i].max) << "}";
+       << ", \"p999\": " << fmt(rolled[i].p999) << ", \"max\": "
+       << fmt(rolled[i].max) << "}";
   }
   os << "]}\n";
 }

@@ -42,6 +42,7 @@ struct SamplerReport {
     std::string name;
     double p50 = 0;
     double p99 = 0;
+    double p999 = 0;
     double max = 0;
   };
 
@@ -51,7 +52,7 @@ struct SamplerReport {
   std::vector<Row> rows;
   std::uint64_t dropped_rows = 0;
 
-  /// Per-series p50/p99/max over the retained rows (nearest-rank
+  /// Per-series p50/p99/p999/max over the retained rows (nearest-rank
   /// percentiles via stats::nearest_rank_sorted, the same convention the
   /// campaign aggregates use). Empty when there are no rows.
   std::vector<Rollup> rollups() const;
@@ -68,8 +69,8 @@ struct SamplerReport {
   ///   {"schema_version":1,"stream":"f2t-samples","interval_ns":I,
   ///    "series":[...],"rows":N,"dropped_rows":D}
   /// then one {"at":T,"v":[...]} line per row (chronological), then a
-  /// final {"rollups":[{"name":...,"p50":...,"p99":...,"max":...},...]}
-  /// line. Deterministic formatting — byte-identical across runs with
+  /// final {"rollups":[{"name":...,"p50":...,"p99":...,"p999":...,
+  /// "max":...},...]} line. Deterministic formatting — byte-identical across runs with
   /// identical inputs.
   void write_jsonl(std::ostream& os) const;
 };

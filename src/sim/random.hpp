@@ -4,6 +4,8 @@
 #include <random>
 #include <vector>
 
+#include "sim/time.hpp"
+
 namespace f2t::sim {
 
 /// Deterministic random source used everywhere in the simulator.
@@ -73,5 +75,21 @@ class Random {
   std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
+
+/// The DCN-measurement draw shape shared by every log-normal event
+/// process in the simulator (background flow interarrivals, random
+/// failure interarrivals and durations): sample a log-normal by median
+/// and sigma, convert seconds to simulation time, and clamp below by a
+/// process-specific floor so a deep-left-tail draw cannot collapse the
+/// event loop into a zero-delay spin. One draw from `rng`, bit-identical
+/// to calling rng.lognormal_median directly (pinned by test_stats.cpp).
+Time lognormal_interval(Random& rng, double median_s, double sigma,
+                        Time floor);
+
+/// Companion size draw: log-normal bytes clamped into [lo, hi] — the
+/// body/tail clamp background traffic applies to flow sizes. Also one
+/// draw, identical to the direct call.
+std::uint64_t lognormal_bytes(Random& rng, double median_bytes, double sigma,
+                              std::uint64_t lo, std::uint64_t hi);
 
 }  // namespace f2t::sim

@@ -1,6 +1,9 @@
 #include "stats/flow_metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "stats/percentile.hpp"
 
 namespace f2t::stats {
 
@@ -41,6 +44,69 @@ sim::Time throughput_collapse_duration(const ThroughputMeter& meter,
     }
   }
   return collapsed;
+}
+
+SloSummary compute_slo(const std::vector<FlowSample>& flows,
+                       sim::Time window_start, sim::Time window_end,
+                       sim::Time horizon) {
+  SloSummary out;
+  out.flows = flows.size();
+
+  std::vector<double> fct_ms;
+  std::vector<double> slowdown;
+  std::size_t missed_in = 0;
+  std::size_t missed_out = 0;
+  for (const FlowSample& f : flows) {
+    const bool completed = f.finish != sim::kNever;
+    if (completed) {
+      ++out.completed;
+      const sim::Time fct = f.finish - f.start;
+      fct_ms.push_back(sim::to_seconds(fct) * 1e3);
+      if (f.ideal > 0) {
+        slowdown.push_back(static_cast<double>(fct) /
+                           static_cast<double>(f.ideal));
+      }
+    }
+    if (f.deadline > 0) {
+      // Missed iff delivery did not beat the deadline; an open flow whose
+      // deadline has not yet expired at the horizon proves nothing and is
+      // excluded rather than counted either way.
+      bool missed;
+      if (completed) {
+        missed = f.finish - f.start > f.deadline;
+      } else if (horizon - f.start > f.deadline) {
+        missed = true;
+      } else {
+        continue;
+      }
+      const bool in_window = f.start >= window_start && f.start < window_end;
+      if (in_window) {
+        ++out.deadline_flows_in_window;
+        if (missed) ++missed_in;
+      } else {
+        ++out.deadline_flows_out_window;
+        if (missed) ++missed_out;
+      }
+    }
+  }
+
+  std::sort(fct_ms.begin(), fct_ms.end());
+  std::sort(slowdown.begin(), slowdown.end());
+  out.fct_ms_p50 = nearest_rank_sorted(fct_ms, 0.50);
+  out.fct_ms_p99 = nearest_rank_sorted(fct_ms, 0.99);
+  out.fct_ms_p999 = nearest_rank_sorted(fct_ms, 0.999);
+  out.fct_ms_max = fct_ms.empty() ? 0 : fct_ms.back();
+  out.slowdown_p50 = fractional_rank_sorted(slowdown, 0.50);
+  out.slowdown_p99 = fractional_rank_sorted(slowdown, 0.99);
+  if (out.deadline_flows_in_window > 0) {
+    out.miss_in_window = static_cast<double>(missed_in) /
+                         static_cast<double>(out.deadline_flows_in_window);
+  }
+  if (out.deadline_flows_out_window > 0) {
+    out.miss_out_window = static_cast<double>(missed_out) /
+                          static_cast<double>(out.deadline_flows_out_window);
+  }
+  return out;
 }
 
 }  // namespace f2t::stats

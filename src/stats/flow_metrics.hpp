@@ -40,4 +40,49 @@ sim::Time throughput_collapse_duration(const ThroughputMeter& meter,
                                        sim::Time fail_time, sim::Time until,
                                        double fraction = 0.5);
 
+/// One application flow as the SLO machinery sees it: when it started,
+/// when its last byte was delivered (kNever = still open at the horizon),
+/// how big it was, the FCT an idle network would have given it, and its
+/// deadline (0 = best-effort). Workload generators emit these; campaign
+/// shards fold them into an SloSummary.
+struct FlowSample {
+  sim::Time start = 0;
+  sim::Time finish = sim::kNever;
+  std::uint64_t bytes = 0;
+  sim::Time ideal = 0;
+  sim::Time deadline = 0;  ///< relative to start; 0 = none
+};
+
+/// Tail-latency SLO rollup over a flow population — the "what did users
+/// feel" counterpart of the paper's connectivity-loss window. FCT
+/// percentiles go through the shared nearest_rank_sorted so campaign
+/// artifacts and telemetry rollups bucket identically; slowdown uses the
+/// fractional-rank path (it is a derived ratio, not an artifact bucket).
+struct SloSummary {
+  std::size_t flows = 0;      ///< samples considered
+  std::size_t completed = 0;  ///< finished before the horizon
+  double fct_ms_p50 = 0;      ///< completed flows only
+  double fct_ms_p99 = 0;
+  double fct_ms_p999 = 0;
+  double fct_ms_max = 0;
+  double slowdown_p50 = 0;  ///< FCT / ideal FCT, completed flows with ideal
+  double slowdown_p99 = 0;
+  /// Deadline-miss fraction among deadline-bearing flows *started* inside
+  /// vs outside [window_start, window_end) — the failure window. An
+  /// unfinished flow whose deadline passed before the horizon counts as
+  /// missed; one whose deadline is still open at the horizon is excluded.
+  std::size_t deadline_flows_in_window = 0;
+  std::size_t deadline_flows_out_window = 0;
+  double miss_in_window = 0;
+  double miss_out_window = 0;
+};
+
+/// Folds flow samples into the SLO rollup. `window_start`/`window_end`
+/// bound the failure window for the deadline-miss split (pass 0/0 for
+/// no window: everything counts as outside); `horizon` is the simulation
+/// end used to age unfinished flows against their deadlines.
+SloSummary compute_slo(const std::vector<FlowSample>& flows,
+                       sim::Time window_start, sim::Time window_end,
+                       sim::Time horizon);
+
 }  // namespace f2t::stats

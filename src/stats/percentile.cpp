@@ -9,10 +9,29 @@ namespace f2t::stats {
 double nearest_rank_sorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto n = sorted.size();
-  auto rank = static_cast<std::size_t>(
-      std::ceil(p * static_cast<double>(n)));
+  const double pn = p * static_cast<double>(n);
+  // ceil(p * n) with an exactness guard: when the true product is an
+  // integer (p999 on n = 1000 samples), the float product may land a few
+  // ulps above it and ceil would overshoot by a whole rank. Snap products
+  // within 1e-9 of an integer back onto it before taking the ceiling.
+  const double nearest = std::nearbyint(pn);
+  const double rank_real =
+      std::abs(pn - nearest) <= 1e-9 ? nearest : std::ceil(pn);
+  auto rank = static_cast<std::size_t>(std::max(rank_real, 0.0));
   rank = std::clamp<std::size_t>(rank, 1, n);
   return sorted[rank - 1];
+}
+
+double fractional_rank_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto n = sorted.size();
+  if (p <= 0) return sorted.front();
+  if (p >= 1) return sorted.back();
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 }  // namespace f2t::stats

@@ -7,14 +7,30 @@ namespace f2t::stats {
 /// Nearest-rank percentile over an already-sorted (ascending) sample:
 /// the smallest element x such that at least ceil(p * n) samples are
 /// <= x. The single definition shared by every artifact writer — the
-/// telemetry rollups (obs::SamplerReport) and the campaign aggregates
-/// (core::aggregate_runs) must bucket identically or cross-artifact
+/// telemetry rollups (obs::SamplerReport), the campaign aggregates
+/// (core::aggregate_runs) and the flow SLO summaries
+/// (stats::compute_slo) must bucket identically or cross-artifact
 /// comparisons lie.
+///
+/// The rank is computed on an integer-scaled grid, so thousandth-grade
+/// percentiles (p999 = 0.999) are exact: ceil(0.999 * 1000) is evaluated
+/// without the float-product drift that can push an exact rank boundary
+/// to the neighbouring sample.
 ///
 /// Conventions (pinned by tests/test_stats.cpp):
 ///  - empty sample -> 0;
 ///  - p <= 0 -> the minimum (rank clamps up to 1);
 ///  - p >= 1 -> the maximum (rank clamps down to n).
 double nearest_rank_sorted(const std::vector<double>& sorted, double p);
+
+/// Fractional-rank (linearly interpolated) percentile over a sorted
+/// sample — Hyndman & Fan type 7, the spreadsheet/numpy default: the
+/// quantile sits at continuous position h = (n - 1) * p and interpolates
+/// between the two neighbouring order statistics. Used where a smooth
+/// estimate beats a bucketed one (slowdown distributions); artifact
+/// percentiles stay on nearest_rank_sorted for cross-artifact equality.
+///
+/// Same edge conventions: empty -> 0, p <= 0 -> min, p >= 1 -> max.
+double fractional_rank_sorted(const std::vector<double>& sorted, double p);
 
 }  // namespace f2t::stats

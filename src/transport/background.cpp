@@ -1,6 +1,5 @@
 #include "transport/background.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace f2t::transport {
@@ -22,9 +21,9 @@ void BackgroundTraffic::start() {
 void BackgroundTraffic::schedule_next() {
   if (sim_->now() >= options_.stop) return;
   launch_flow();
-  const double gap_s = rng_.lognormal_median(options_.interarrival_median_s,
-                                             options_.interarrival_sigma);
-  sim_->after(std::max<sim::Time>(sim::from_seconds(gap_s), sim::micros(10)),
+  sim_->after(sim::lognormal_interval(rng_, options_.interarrival_median_s,
+                                      options_.interarrival_sigma,
+                                      sim::micros(10)),
               [this] { schedule_next(); });
 }
 
@@ -33,31 +32,45 @@ void BackgroundTraffic::launch_flow() {
   std::size_t dst = rng_.index(stacks_.size());
   while (dst == src) dst = rng_.index(stacks_.size());
 
-  const std::uint64_t bytes = std::clamp<std::uint64_t>(
-      static_cast<std::uint64_t>(
-          rng_.lognormal_median(options_.size_median_bytes,
-                                options_.size_sigma)),
-      1, options_.max_flow_bytes);
+  const std::uint64_t bytes =
+      sim::lognormal_bytes(rng_, options_.size_median_bytes,
+                           options_.size_sigma, 1, options_.max_flow_bytes);
 
   const std::size_t index = records_.size();
   records_.push_back(FlowRecord{sim_->now(), sim::kNever, bytes});
 
-  connections_.push_back(
-      TcpConnection::open(*stacks_[src], *stacks_[dst], options_.tcp));
-  TcpEndpoint& sender = connections_.back()->a();
-  TcpEndpoint& receiver = connections_.back()->b();
-  receiver.set_on_delivered([this, index, bytes](std::uint64_t delivered) {
-    if (delivered >= bytes && !records_[index].is_complete()) {
-      records_[index].finished = sim_->now();
+  const auto handle = arena_.alloc();
+  ActiveFlow& flow = arena_.get(handle);
+  flow.record = index;
+  flow.bytes = bytes;
+  flow.conn = TcpConnection::open(*stacks_[src], *stacks_[dst], options_.tcp);
+  active_.push_back(arena_, core::Arena<ActiveFlow>::index_of(handle));
+
+  TcpEndpoint& sender = flow.conn->a();
+  TcpEndpoint& receiver = flow.conn->b();
+  receiver.set_on_delivered([this, handle](std::uint64_t delivered) {
+    const ActiveFlow* f = arena_.try_get(handle);
+    if (f != nullptr && delivered >= f->bytes &&
+        !records_[f->record].is_complete()) {
+      finish_flow(handle);
     }
   });
   sender.write(bytes);
 }
 
-std::size_t BackgroundTraffic::completed_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [](const FlowRecord& r) { return r.is_complete(); }));
+void BackgroundTraffic::finish_flow(core::Arena<ActiveFlow>::Handle handle) {
+  ActiveFlow& flow = arena_.get(handle);
+  records_[flow.record].finished = sim_->now();
+  ++completed_;
+  active_.erase(arena_, core::Arena<ActiveFlow>::index_of(handle));
+  // Tearing down the connection inside its own delivery callback would
+  // free the endpoint mid-signal; defer to an immediate follow-up event.
+  sim_->after(0, [this, handle] {
+    ActiveFlow* f = arena_.try_get(handle);
+    if (f == nullptr) return;
+    f->conn.reset();
+    arena_.release(handle);
+  });
 }
 
 std::uint64_t BackgroundTraffic::total_bytes() const {

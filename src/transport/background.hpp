@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "sim/random.hpp"
 #include "transport/tcp.hpp"
 
@@ -39,18 +40,37 @@ class BackgroundTraffic {
   void start();
 
   const std::vector<FlowRecord>& flows() const { return records_; }
-  std::size_t completed_count() const;
+  std::size_t completed_count() const { return completed_; }
   std::uint64_t total_bytes() const;
+  /// Flows currently in flight — the live-memory bound: completed flows
+  /// release their TCP machinery back to the arena immediately.
+  std::size_t active_count() const { return active_.size(); }
 
  private:
+  /// Arena-resident per-flow state. The all-time FlowRecord summary stays
+  /// in the flat records_ vector (24-byte PODs — cheap at any count); what
+  /// must NOT scale with all-time flow count is the TCP machinery, so a
+  /// completed flow's connection is torn down and its slot recycled. The
+  /// delivery callback captures the generation-checked arena handle, so a
+  /// late delivery signal for a recycled slot is detected, not aliased.
+  struct ActiveFlow {
+    std::size_t record = 0;
+    std::uint64_t bytes = 0;
+    std::unique_ptr<TcpConnection> conn;
+    core::ListLink link;
+  };
+
   void schedule_next();
   void launch_flow();
+  void finish_flow(core::Arena<ActiveFlow>::Handle handle);
 
   std::vector<HostStack*> stacks_;
   sim::Random rng_;
   BackgroundTrafficOptions options_;
   std::vector<FlowRecord> records_;
-  std::vector<std::unique_ptr<TcpConnection>> connections_;
+  core::Arena<ActiveFlow> arena_;
+  core::IntrusiveList<ActiveFlow, &ActiveFlow::link> active_;
+  std::size_t completed_ = 0;
   sim::Simulator* sim_ = nullptr;
 };
 

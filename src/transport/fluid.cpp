@@ -197,20 +197,24 @@ void FluidProbe::partition_sends(sim::Time now) {
   for (std::uint64_t k = std::max(next_k_, k_full); k < k_sent; ++k) {
     // Straddler: instantiate the regime path at this send's absolute
     // times; advance_pending will keep the already-decided prefix and
-    // re-trace the rest under the new state.
-    Pending p;
+    // re-trace the rest under the new state. Arena-allocated: a recycled
+    // slot's hop buffer keeps its capacity, so straddler churn does not
+    // allocate in steady state.
+    const auto h = pending_arena_.alloc();
+    Pending& p = pending_arena_.get(h);
     p.k = k;
-    p.hops = regime_hops_;
+    p.hops.assign(regime_hops_.begin(), regime_hops_.end());
     for (Hop& hop : p.hops) hop.enqueue += send_time(k);
     p.final_count = 0;
     p.terminal = regime_terminal_;
-    pendings_.push_back(std::move(p));
+    open_.push_back(pending_arena_, core::Arena<Pending>::index_of(h));
     ++stats_.straddlers;
   }
   next_k_ = std::max(next_k_, k_sent);
 }
 
-void FluidProbe::advance_pending(Pending& p, sim::Time now) {
+void FluidProbe::advance_pending(std::uint32_t pending_idx, sim::Time now) {
+  Pending& p = pending_arena_.at_index(pending_idx);
   // Promote optimistic hops whose forwarding decision predates `now`;
   // they were traced under the regime that was live at their enqueue
   // time, so they are final.
@@ -223,7 +227,8 @@ void FluidProbe::advance_pending(Pending& p, sim::Time now) {
         p.terminal == Terminal::kDelivered  // no decision on host arrival
         || last.enqueue + last.flight < now;
     if (decided) {
-      resolved_.push_back(std::move(p));
+      open_.erase(pending_arena_, pending_idx);
+      resolved_.push_back(pending_arena_, pending_idx);
       return;
     }
   }
@@ -233,7 +238,6 @@ void FluidProbe::advance_pending(Pending& p, sim::Time now) {
   p.terminal = trace_from(&network_.node(last.to),
                           last.enqueue + last.flight, last.ttl_at_to,
                           p.hops);
-  pendings_.push_back(std::move(p));
 }
 
 void FluidProbe::process_change() {
@@ -243,9 +247,14 @@ void FluidProbe::process_change() {
 
   partition_sends(now);
 
-  std::vector<Pending> open = std::move(pendings_);
-  pendings_.clear();
-  for (Pending& p : open) advance_pending(p, now);
+  // Snapshot the open list first: advance_pending moves decided entries
+  // onto resolved_ while we iterate.
+  pending_scratch_.clear();
+  for (auto i = open_.head(); i != core::kNilIndex;
+       i = open_.next(pending_arena_, i)) {
+    pending_scratch_.push_back(i);
+  }
+  for (const std::uint32_t i : pending_scratch_) advance_pending(i, now);
 
   retrace_regime();
   sync_flow_path();
@@ -314,8 +323,11 @@ void FluidProbe::finalize() {
     ++stats_.batches;
     next_k_ = total_sends_;
   }
-  for (Pending& p : pendings_) resolved_.push_back(std::move(p));
-  pendings_.clear();
+  while (open_.head() != core::kNilIndex) {
+    const std::uint32_t i = open_.head();
+    open_.erase(pending_arena_, i);
+    resolved_.push_back(pending_arena_, i);
+  }
 
   for (const Batch& batch : batches_) {
     if (batch.terminal != Terminal::kDelivered) continue;
@@ -335,7 +347,9 @@ void FluidProbe::finalize() {
       }
     }
   }
-  for (const Pending& p : resolved_) {
+  for (auto i = resolved_.head(); i != core::kNilIndex;
+       i = resolved_.next(pending_arena_, i)) {
+    const Pending& p = pending_arena_.at_index(i);
     if (p.terminal != Terminal::kDelivered) continue;
     if (!send_delivered(p.hops, 0)) continue;
     const Hop& last = p.hops.back();
@@ -351,114 +365,231 @@ void FluidProbe::finalize() {
 FluidFlowTable::FluidFlowTable(std::size_t channel_count,
                                double default_capacity_bps)
     : capacity_(channel_count, default_capacity_bps),
+      members_(channel_count),
       stamp_(channel_count, 0),
       residual_(channel_count, 0.0),
-      load_(channel_count, 0) {}
+      load_(channel_count, 0),
+      channel_dirty_(channel_count, 0) {}
+
+void FluidFlowTable::mark_channel_dirty(std::uint32_t channel) {
+  if (channel_dirty_[channel]) return;
+  channel_dirty_[channel] = 1;
+  dirty_channels_.push_back(channel);
+  dirty_ = true;
+}
+
+void FluidFlowTable::mark_path_dirty(const Flow& flow) {
+  for (auto n = flow.first_node; n != core::kNilIndex;
+       n = nodes_.at_index(n).next_in_path) {
+    mark_channel_dirty(nodes_.at_index(n).channel);
+  }
+}
+
+void FluidFlowTable::link_path(std::uint32_t flow_idx, Flow& flow,
+                               const std::vector<std::uint32_t>& path) {
+  std::uint32_t prev = core::kNilIndex;
+  for (const std::uint32_t c : path) {
+    const auto h = nodes_.alloc();
+    const std::uint32_t idx = core::Arena<PathNode>::index_of(h);
+    PathNode& node = nodes_.get(h);
+    node.channel = c;
+    node.flow = flow_idx;
+    node.next_in_path = core::kNilIndex;
+    if (prev == core::kNilIndex) {
+      flow.first_node = idx;
+    } else {
+      nodes_.at_index(prev).next_in_path = idx;
+    }
+    prev = idx;
+    members_[c].push_back(nodes_, idx);
+  }
+}
+
+void FluidFlowTable::unlink_path(Flow& flow) {
+  std::uint32_t n = flow.first_node;
+  while (n != core::kNilIndex) {
+    PathNode& node = nodes_.at_index(n);
+    const std::uint32_t next = node.next_in_path;
+    members_[node.channel].erase(nodes_, n);
+    nodes_.release(nodes_.handle_of_index(n));
+    n = next;
+  }
+  flow.first_node = core::kNilIndex;
+}
+
+bool FluidFlowTable::path_equals(
+    const Flow& flow, const std::vector<std::uint32_t>& path) const {
+  std::uint32_t n = flow.first_node;
+  for (const std::uint32_t c : path) {
+    if (n == core::kNilIndex) return false;
+    const PathNode& node = nodes_.at_index(n);
+    if (node.channel != c) return false;
+    n = node.next_in_path;
+  }
+  return n == core::kNilIndex;
+}
 
 void FluidFlowTable::set_capacity(std::uint32_t channel, double bps) {
   if (bps <= 0) {
     throw std::invalid_argument("FluidFlowTable: capacity must be positive");
   }
   capacity_.at(channel) = bps;
-  dirty_ = true;
+  mark_channel_dirty(channel);
 }
 
 FluidFlowTable::FlowId FluidFlowTable::add_flow(
     std::vector<std::uint32_t> path, double demand_bps) {
   for (const std::uint32_t c : path) capacity_.at(c);  // bounds check
-  Flow flow;
-  flow.path = std::move(path);
+  const FlowId id = static_cast<FlowId>(flows_.alloc());
+  Flow& flow = flows_.get(id);
+  // Recycled slot: reset every field the previous tenant may have left.
+  flow.first_node = core::kNilIndex;
   flow.demand = demand_bps;
-  flow.live = true;
-  flows_.push_back(std::move(flow));
-  ++live_flows_;
-  dirty_ = true;
-  return static_cast<FlowId>(flows_.size() - 1);
+  flow.rate = 0.0;
+  flow.seen_epoch = 0;
+  flow.frozen = false;
+  link_path(core::Arena<Flow>::index_of(id), flow, path);
+  mark_path_dirty(flow);
+  return id;
 }
 
 void FluidFlowTable::remove_flow(FlowId id) {
-  Flow& flow = flows_.at(id);
-  if (!flow.live) return;
-  flow.live = false;
-  flow.rate = 0.0;
-  --live_flows_;
-  dirty_ = true;
+  Flow* flow = flows_.try_get(id);
+  if (flow == nullptr) return;  // stale handle: already removed
+  mark_path_dirty(*flow);
+  unlink_path(*flow);
+  flows_.release(id);
 }
 
 void FluidFlowTable::set_path(FlowId id, std::vector<std::uint32_t> path) {
   for (const std::uint32_t c : path) capacity_.at(c);  // bounds check
-  Flow& flow = flows_.at(id);
-  if (flow.path == path) return;
-  flow.path = std::move(path);
-  dirty_ = true;
+  Flow& flow = flows_.get(id);
+  if (path_equals(flow, path)) return;
+  mark_path_dirty(flow);  // old channels lose this flow's share
+  unlink_path(flow);
+  link_path(core::Arena<Flow>::index_of(id), flow, path);
+  mark_path_dirty(flow);
+  if (path.empty()) flow.rate = 0.0;  // unrouted immediately
 }
 
 void FluidFlowTable::set_demand(FlowId id, double demand_bps) {
-  flows_.at(id).demand = demand_bps;
-  dirty_ = true;
-}
-
-double& FluidFlowTable::residual(std::uint32_t channel) {
-  if (stamp_[channel] != epoch_) {
-    stamp_[channel] = epoch_;
-    residual_[channel] = capacity_[channel];
-    load_[channel] = 0;
-  }
-  return residual_[channel];
-}
-
-std::uint32_t& FluidFlowTable::load(std::uint32_t channel) {
-  residual(channel);  // stamp
-  return load_[channel];
+  Flow& flow = flows_.get(id);
+  flow.demand = demand_bps;
+  mark_path_dirty(flow);  // unrouted flows stay at rate 0: nothing to mark
 }
 
 double FluidFlowTable::rate_of(FlowId id) {
   if (dirty_) solve();
-  return flows_.at(id).rate;
+  const Flow* flow = flows_.try_get(id);
+  return flow != nullptr ? flow->rate : 0.0;
+}
+
+void FluidFlowTable::touch_channel(std::uint32_t channel) {
+  channel_dirty_[channel] = 0;  // absorbed into the current component
+  if (stamp_[channel] == epoch_) return;
+  stamp_[channel] = epoch_;
+  residual_[channel] = capacity_[channel];
+  load_[channel] = 0;
+  channel_stack_.push_back(channel);
 }
 
 void FluidFlowTable::solve() {
   dirty_ = false;
   ++solves_;
+  last_solve_flows_ = 0;
+  last_solved_.clear();
+
+  // Each dirty channel seeds one connected component; seeds absorbed into
+  // an earlier component's BFS (their dirty flag cleared by
+  // touch_channel) are skipped. Solving per component matters: a batch of
+  // mutations spanning k disjoint components (mass add, multi-link
+  // failure) costs sum(comp_i^2) worst-case instead of (sum comp_i)^2 —
+  // one merged progressive filling would interleave every component's
+  // freeze levels into a single global increment sequence.
+  for (const std::uint32_t seed : dirty_channels_) {
+    if (!channel_dirty_[seed]) continue;
+    solve_component(seed);
+  }
+  dirty_channels_.clear();
+}
+
+void FluidFlowTable::solve_component(std::uint32_t seed) {
   ++epoch_;
 
-  std::vector<FlowId> unfrozen;
-  for (FlowId id = 0; id < flows_.size(); ++id) {
-    Flow& flow = flows_[id];
+  // Collect the connected component of the seed channel: BFS over the
+  // channel<->flow membership graph. Every flow crossing a component
+  // channel joins the component and contributes its other channels, so
+  // at the end the component's channels are crossed *only* by component
+  // flows — their rates can be recomputed from raw capacities without
+  // consulting the rest of the table.
+  comp_flows_.clear();
+  channel_stack_.clear();
+  touch_channel(seed);
+  for (std::size_t i = 0; i < channel_stack_.size(); ++i) {
+    const std::uint32_t c = channel_stack_[i];
+    const MemberList& list = members_[c];
+    for (auto n = list.head(); n != core::kNilIndex; n = list.next(nodes_, n)) {
+      const std::uint32_t flow_idx = nodes_.at_index(n).flow;
+      Flow& flow = flows_.at_index(flow_idx);
+      if (flow.seen_epoch == epoch_) continue;
+      flow.seen_epoch = epoch_;
+      comp_flows_.push_back(flow_idx);
+      for (auto pn = flow.first_node; pn != core::kNilIndex;
+           pn = nodes_.at_index(pn).next_in_path) {
+        touch_channel(nodes_.at_index(pn).channel);
+      }
+    }
+  }
+  last_solve_flows_ += comp_flows_.size();
+  solved_flow_visits_ += comp_flows_.size();
+  for (const std::uint32_t flow_idx : comp_flows_) {
+    last_solved_.push_back(flows_.handle_of_index(flow_idx));
+  }
+
+  unfrozen_.clear();
+  for (const std::uint32_t flow_idx : comp_flows_) {
+    Flow& flow = flows_.at_index(flow_idx);
     flow.frozen = false;
     flow.rate = 0.0;
-    if (!flow.live) continue;
-    if (flow.path.empty()) continue;  // unrouted: rate stays 0
-    unfrozen.push_back(id);
-    for (const std::uint32_t c : flow.path) ++load(c);
+    unfrozen_.push_back(flow_idx);
+    for (auto pn = flow.first_node; pn != core::kNilIndex;
+         pn = nodes_.at_index(pn).next_in_path) {
+      ++load_[nodes_.at_index(pn).channel];
+    }
   }
 
   // Progressive filling: raise every unfrozen flow's rate by the largest
   // uniform increment no channel or demand can absorb less of, then
-  // freeze whatever saturated. Terminates in <= live-flow iterations
+  // freeze whatever saturated. Terminates in <= component-size iterations
   // (every round freezes at least one flow).
-  while (!unfrozen.empty()) {
+  while (!unfrozen_.empty()) {
     double inc = std::numeric_limits<double>::max();
-    for (const FlowId id : unfrozen) {
-      const Flow& flow = flows_[id];
+    for (const std::uint32_t flow_idx : unfrozen_) {
+      const Flow& flow = flows_.at_index(flow_idx);
       inc = std::min(inc, flow.demand - flow.rate);
-      for (const std::uint32_t c : flow.path) {
-        inc = std::min(inc, residual(c) / static_cast<double>(load_[c]));
+      for (auto pn = flow.first_node; pn != core::kNilIndex;
+           pn = nodes_.at_index(pn).next_in_path) {
+        const std::uint32_t c = nodes_.at_index(pn).channel;
+        inc = std::min(inc, residual_[c] / static_cast<double>(load_[c]));
       }
     }
-    for (const FlowId id : unfrozen) {
-      Flow& flow = flows_[id];
+    for (const std::uint32_t flow_idx : unfrozen_) {
+      Flow& flow = flows_.at_index(flow_idx);
       flow.rate += inc;
-      for (const std::uint32_t c : flow.path) residual(c) -= inc;
+      for (auto pn = flow.first_node; pn != core::kNilIndex;
+           pn = nodes_.at_index(pn).next_in_path) {
+        residual_[nodes_.at_index(pn).channel] -= inc;
+      }
     }
-    std::vector<FlowId> still;
-    still.reserve(unfrozen.size());
-    for (const FlowId id : unfrozen) {
-      Flow& flow = flows_[id];
+    still_.clear();
+    for (const std::uint32_t flow_idx : unfrozen_) {
+      Flow& flow = flows_.at_index(flow_idx);
       bool frozen = flow.rate >= flow.demand;
       if (!frozen) {
-        for (const std::uint32_t c : flow.path) {
-          if (residual(c) <= 1e-9 * capacity_[c]) {
+        for (auto pn = flow.first_node; pn != core::kNilIndex;
+             pn = nodes_.at_index(pn).next_in_path) {
+          const std::uint32_t c = nodes_.at_index(pn).channel;
+          if (residual_[c] <= 1e-9 * capacity_[c]) {
             frozen = true;
             break;
           }
@@ -466,13 +597,16 @@ void FluidFlowTable::solve() {
       }
       if (frozen) {
         flow.frozen = true;
-        for (const std::uint32_t c : flow.path) --load(c);
+        for (auto pn = flow.first_node; pn != core::kNilIndex;
+             pn = nodes_.at_index(pn).next_in_path) {
+          --load_[nodes_.at_index(pn).channel];
+        }
       } else {
-        still.push_back(id);
+        still_.push_back(flow_idx);
       }
     }
-    if (still.size() == unfrozen.size()) break;  // numeric safety valve
-    unfrozen = std::move(still);
+    if (still_.size() == unfrozen_.size()) break;  // numeric safety valve
+    std::swap(unfrozen_, still_);
   }
 }
 

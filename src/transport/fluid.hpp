@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "net/network.hpp"
 #include "transport/udp_app.hpp"
 
@@ -130,12 +131,15 @@ class FluidProbe {
   /// A send whose path straddles a routing change: hops[0..final_count)
   /// were decided by past regimes and are final; the rest is the
   /// optimistic continuation under the newest state, truncated and
-  /// re-traced whenever the routing state changes again.
+  /// re-traced whenever the routing state changes again. Lives in an
+  /// arena (hop buffers recycle their capacity) and on exactly one of the
+  /// open_/resolved_ intrusive lists.
   struct Pending {
     std::uint64_t k = 0;
     std::vector<Hop> hops;
     std::size_t final_count = 0;
     Terminal terminal = Terminal::kNoRoute;
+    core::ListLink link;
   };
 
   struct Transition {
@@ -162,7 +166,7 @@ class FluidProbe {
   /// behind it).
   sim::Time regime_decision_offset() const;
   void partition_sends(sim::Time now);
-  void advance_pending(Pending& p, sim::Time now);
+  void advance_pending(std::uint32_t pending_idx, sim::Time now);
   void sync_flow_path();
   bool channel_clean(std::uint32_t channel) const;
   bool hop_open(std::uint32_t channel, sim::Time enqueue,
@@ -190,8 +194,10 @@ class FluidProbe {
   std::uint64_t next_k_ = 0;  ///< first send not yet batched or pended
 
   std::vector<Batch> batches_;
-  std::vector<Pending> pendings_;
-  std::vector<Pending> resolved_;  ///< fully decided straddlers
+  core::Arena<Pending> pending_arena_;
+  core::IntrusiveList<Pending, &Pending::link> open_;
+  core::IntrusiveList<Pending, &Pending::link> resolved_;
+  std::vector<std::uint32_t> pending_scratch_;  ///< open-list snapshot
   std::vector<UdpSink::Arrival> arrivals_;
   bool finalized_ = false;
 
@@ -206,14 +212,27 @@ class FluidProbe {
 /// Progressive water-filling: every unfrozen flow's rate rises uniformly;
 /// a flow freezes when it hits its demand or when a channel on its path
 /// saturates. Channels are identified as link id * 2 + direction, matching
-/// FluidProbe's channel keys. Solves are incremental in the epoch-stamped
-/// flat-array style of routing/lsgraph: per-channel scratch (residual
-/// capacity, unfrozen-flow count) lives in flat arrays stamped with a
-/// solve epoch, so a solve touches only the channels actually crossed by
-/// flows — never O(all channels) — and add/remove/set_path just mark the
-/// table dirty for the next rates() query.
+/// FluidProbe's channel keys.
+///
+/// Built for 10^5..10^6 concurrent flows. Flows and their path nodes live
+/// in core::Arena slabs (FlowId is a generation-checked handle; add/remove
+/// never allocate in steady state because released slots recycle their
+/// path chains). Each channel keeps an intrusive membership list of the
+/// path nodes crossing it, giving solve() the channel<->flow bipartite
+/// graph for free. Mutations mark only the channels they touch, and
+/// solve() recomputes only the *connected component* of dirty channels:
+/// a BFS over membership collects the affected flows (every flow crossing
+/// a component channel is itself in the component, so the component owns
+/// those channels outright and can be water-filled in isolation — max-min
+/// rates of disjoint components are independent). Per-channel scratch
+/// (residual capacity, unfrozen-flow count) lives in flat arrays stamped
+/// with a solve epoch, the routing/lsgraph SpfArrays idiom, so nothing is
+/// ever cleared O(channels).
 class FluidFlowTable {
  public:
+  /// Arena handle: slot index | generation << 24. Stale handles are
+  /// detected, not aliased (remove_flow of a stale id is a no-op,
+  /// rate_of of a stale id is 0 — a removed flow's rate).
   using FlowId = std::uint32_t;
   static constexpr double kUnbounded = std::numeric_limits<double>::max();
 
@@ -222,6 +241,10 @@ class FluidFlowTable {
   FluidFlowTable(std::size_t channel_count, double default_capacity_bps);
 
   void set_capacity(std::uint32_t channel, double bps);
+  double capacity_of(std::uint32_t channel) const {
+    return capacity_.at(channel);
+  }
+  std::size_t channel_count() const { return capacity_.size(); }
 
   /// Registers a flow crossing `path` (channel keys, in order) with an
   /// application demand ceiling. An empty path means "currently unrouted":
@@ -235,32 +258,86 @@ class FluidFlowTable {
   /// The flow's max-min rate in bps; re-solves if the table is dirty.
   double rate_of(FlowId id);
 
-  std::size_t flow_count() const { return live_flows_; }
+  /// Solves now if dirty (otherwise a no-op), making last_solved() current
+  /// without naming a flow. Rate-integrating consumers call this after a
+  /// batch of mutations, then re-clock exactly the flows it recomputed.
+  void refresh() {
+    if (dirty_) solve();
+  }
+
+  /// The dense slot index under a FlowId (stable for the flow's lifetime,
+  /// recycled after removal) — lets consumers keep side tables in flat
+  /// arrays instead of hash maps.
+  static std::uint32_t slot_of(FlowId id) { return id & core::kHandleIndexMask; }
+
+  bool is_live(FlowId id) const { return flows_.contains(id); }
+  std::size_t flow_count() const { return flows_.live_count(); }
   std::uint64_t solve_count() const { return solves_; }
+  /// Cumulative flows water-filled across all solves — the incrementality
+  /// metric: for mutations confined to one component this grows by that
+  /// component's size, not by flow_count().
+  std::uint64_t solved_flow_visits() const { return solved_flow_visits_; }
+  /// Flows touched by the most recent solve.
+  std::size_t last_solve_flows() const { return last_solve_flows_; }
+  /// Flow handles whose rate was recomputed by the most recent solve (in
+  /// component-discovery order). Consumers integrating rate over time
+  /// (fluid FCT) re-clock exactly these flows after a query.
+  const std::vector<FlowId>& last_solved() const { return last_solved_; }
 
  private:
+  /// One hop of a flow's path: a link in the flow's own chain and a
+  /// member of its channel's intrusive list.
+  struct PathNode {
+    std::uint32_t channel = 0;
+    std::uint32_t flow = core::kNilIndex;  ///< owning flow's slot index
+    std::uint32_t next_in_path = core::kNilIndex;
+    core::ListLink in_channel;
+  };
   struct Flow {
-    std::vector<std::uint32_t> path;
+    std::uint32_t first_node = core::kNilIndex;
     double demand = kUnbounded;
     double rate = 0.0;
-    bool live = false;
-    bool frozen = false;
+    std::uint64_t seen_epoch = 0;  ///< component-membership stamp
+    bool frozen = false;           ///< water-fill scratch
   };
+  using MemberList = core::IntrusiveList<PathNode, &PathNode::in_channel>;
 
+  void mark_channel_dirty(std::uint32_t channel);
+  void mark_path_dirty(const Flow& flow);
+  void link_path(std::uint32_t flow_idx, Flow& flow,
+                 const std::vector<std::uint32_t>& path);
+  void unlink_path(Flow& flow);
+  bool path_equals(const Flow& flow,
+                   const std::vector<std::uint32_t>& path) const;
+  void touch_channel(std::uint32_t channel);
+  /// One solve() per refresh; it water-fills each dirty connected
+  /// component independently so disjoint mutation batches cost the sum of
+  /// their component sizes, not the square of the union.
   void solve();
-  double& residual(std::uint32_t channel);
-  std::uint32_t& load(std::uint32_t channel);
+  void solve_component(std::uint32_t seed);
 
-  std::vector<Flow> flows_;
+  core::Arena<Flow> flows_;
+  core::Arena<PathNode> nodes_;
   std::vector<double> capacity_;
+  std::vector<MemberList> members_;  ///< per-channel flow membership
   /// Epoch-stamped scratch: valid for channel c iff stamp_[c] == epoch_.
   std::vector<std::uint64_t> stamp_;
   std::vector<double> residual_;
   std::vector<std::uint32_t> load_;
+  /// Channels touched since the last solve (flag deduplicates).
+  std::vector<char> channel_dirty_;
+  std::vector<std::uint32_t> dirty_channels_;
+  /// Solve scratch, member-owned so steady-state solves never allocate.
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> channel_stack_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<std::uint32_t> still_;
+  std::vector<FlowId> last_solved_;
   std::uint64_t epoch_ = 0;
-  std::size_t live_flows_ = 0;
   bool dirty_ = false;
   std::uint64_t solves_ = 0;
+  std::uint64_t solved_flow_visits_ = 0;
+  std::size_t last_solve_flows_ = 0;
 };
 
 }  // namespace f2t::transport

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/arena.hpp"
+
+namespace f2t {
+namespace {
+
+struct Node {
+  int value = 0;
+  std::vector<int> payload;
+  core::ListLink link;
+};
+
+using NodeArena = core::Arena<Node>;
+using NodeList = core::IntrusiveList<Node, &Node::link>;
+
+TEST(Arena, AllocGetRelease) {
+  NodeArena arena;
+  const auto h = arena.alloc();
+  arena.get(h).value = 42;
+  EXPECT_EQ(arena.get(h).value, 42);
+  EXPECT_EQ(arena.live_count(), 1u);
+  arena.release(h);
+  EXPECT_EQ(arena.live_count(), 0u);
+  EXPECT_EQ(arena.slot_count(), 1u);  // slot retained for reuse
+}
+
+TEST(Arena, StaleHandleDetected) {
+  NodeArena arena;
+  const auto h = arena.alloc();
+  arena.release(h);
+  const auto h2 = arena.alloc();  // recycles the same slot...
+  EXPECT_EQ(NodeArena::index_of(h2), NodeArena::index_of(h));
+  EXPECT_NE(h2, h);  // ...under a new generation
+  EXPECT_FALSE(arena.contains(h));
+  EXPECT_TRUE(arena.contains(h2));
+  EXPECT_EQ(arena.try_get(h), nullptr);
+  EXPECT_THROW(arena.get(h), std::out_of_range);
+  EXPECT_THROW(arena.release(h), std::out_of_range);  // double release
+}
+
+TEST(Arena, OutOfRangeHandleDetected) {
+  NodeArena arena;
+  EXPECT_EQ(arena.try_get(12345u), nullptr);
+  EXPECT_THROW(arena.get(12345u), std::out_of_range);
+}
+
+TEST(Arena, FreeListReusesInLifoOrderWithoutGrowth) {
+  NodeArena arena;
+  std::vector<NodeArena::Handle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(arena.alloc());
+  EXPECT_EQ(arena.slot_count(), 100u);
+  for (const auto h : handles) arena.release(h);
+  for (int i = 0; i < 100; ++i) arena.alloc();
+  EXPECT_EQ(arena.slot_count(), 100u);  // fully recycled, no new slots
+  EXPECT_EQ(arena.live_count(), 100u);
+}
+
+TEST(Arena, RecycledSlotKeepsBufferCapacity) {
+  // The point of not destroying on release: per-flow vectors keep their
+  // grown capacity across tenants, so steady-state churn does not allocate.
+  NodeArena arena;
+  const auto h = arena.alloc();
+  arena.get(h).payload.reserve(1000);
+  const auto cap = arena.get(h).payload.capacity();
+  arena.release(h);
+  const auto h2 = arena.alloc();
+  ASSERT_EQ(NodeArena::index_of(h2), NodeArena::index_of(h));
+  EXPECT_GE(arena.get(h2).payload.capacity(), cap);
+}
+
+TEST(Arena, StableAddressesAcrossGrowth) {
+  NodeArena arena;
+  const auto first = arena.alloc();
+  Node* p = &arena.get(first);
+  // Push well past one slab (4096 slots) to force new slab allocations.
+  for (int i = 0; i < 10000; ++i) arena.alloc();
+  EXPECT_EQ(&arena.get(first), p);
+}
+
+TEST(Arena, HandleRoundTripsThroughIndex) {
+  NodeArena arena;
+  const auto h = arena.alloc();
+  EXPECT_EQ(arena.handle_of_index(NodeArena::index_of(h)), h);
+}
+
+TEST(IntrusiveList, PushEraseIterate) {
+  NodeArena arena;
+  NodeList list;
+  std::vector<NodeArena::Handle> handles;
+  for (int i = 0; i < 5; ++i) {
+    const auto h = arena.alloc();
+    arena.get(h).value = i;
+    list.push_back(arena, NodeArena::index_of(h));
+    handles.push_back(h);
+  }
+  EXPECT_EQ(list.size(), 5u);
+
+  list.erase(arena, NodeArena::index_of(handles[0]));  // head
+  list.erase(arena, NodeArena::index_of(handles[2]));  // middle
+  list.erase(arena, NodeArena::index_of(handles[4]));  // tail
+  EXPECT_EQ(list.size(), 2u);
+
+  std::vector<int> seen;
+  for (auto i = list.head(); i != core::kNilIndex; i = list.next(arena, i)) {
+    seen.push_back(arena.at_index(i).value);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+
+  list.erase(arena, NodeArena::index_of(handles[1]));
+  list.erase(arena, NodeArena::index_of(handles[3]));
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.head(), core::kNilIndex);
+  EXPECT_EQ(list.tail(), core::kNilIndex);
+}
+
+TEST(IntrusiveList, SingleElementEraseResetsEnds) {
+  NodeArena arena;
+  NodeList list;
+  const auto h = arena.alloc();
+  list.push_back(arena, NodeArena::index_of(h));
+  EXPECT_EQ(list.head(), list.tail());
+  list.erase(arena, NodeArena::index_of(h));
+  EXPECT_TRUE(list.empty());
+  list.push_back(arena, NodeArena::index_of(h));  // reusable after erase
+  EXPECT_EQ(list.size(), 1u);
+}
+
+}  // namespace
+}  // namespace f2t

@@ -698,5 +698,162 @@ TEST(WorkerProtocol, ManifestRoundTripsAndValidates) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------------- workload --
+
+/// tiny_spec plus an incast workload axis (packet fidelity is the
+/// default): small fan-in and short horizon keep this unit-test sized.
+core::CampaignSpec tiny_workload_spec() {
+  return core::CampaignSpec::parse(R"({
+    "name": "tiny-wl",
+    "topologies": [{"name": "f2", "ports": 4}],
+    "conditions": ["C1"],
+    "seeds": 2,
+    "horizon_ms": 700,
+    "workload": {"kind": "incast", "fanin": 3, "flow_bytes": 4000,
+                 "deadline_ms": 200}
+  })");
+}
+
+TEST(CampaignSpec, WorkloadAxisParsesEchoesAndValidates) {
+  const auto spec = tiny_workload_spec();
+  EXPECT_TRUE(spec.workload.enabled);
+  EXPECT_EQ(spec.workload.kind, "incast");
+  EXPECT_EQ(spec.workload.size_dist, "websearch");  // default preserved
+  EXPECT_EQ(spec.workload.fanin, 3);
+  EXPECT_EQ(spec.workload.flow_bytes, 4000u);
+  EXPECT_EQ(spec.workload.deadline_ms, 200);
+
+  std::ostringstream os;
+  spec.write_json(os);
+  EXPECT_NE(os.str().find("\"workload\""), std::string::npos);
+  const auto again = core::CampaignSpec::parse(os.str());
+  std::ostringstream os2;
+  again.write_json(os2);
+  EXPECT_EQ(os.str(), os2.str());
+
+  const auto bad = [](const char* workload_json, const char* fidelity) {
+    return std::string(R"({"topologies": [{"name": "f2", "ports": 4}],
+                           "conditions": ["C1"], "fidelity": ")") +
+           fidelity + R"(", "workload": )" + workload_json + "}";
+  };
+  // Unknown sub-key, bad kind, bad size_dist, out-of-range load/fanin.
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"knd": "poisson"})", "packet")),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"kind": "storm"})", "packet")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      core::CampaignSpec::parse(bad(R"({"size_dist": "uniform"})", "packet")),
+      std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"load": 1.5})", "packet")),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"load": 0})", "packet")),
+               std::invalid_argument);
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"fanin": 0})", "packet")),
+               std::invalid_argument);
+  // The TCP workload needs host stacks: flow fidelity must refuse.
+  EXPECT_THROW(core::CampaignSpec::parse(bad(R"({"kind": "poisson"})", "flow")),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, WorkloadFreeSpecsStayByteIdentical) {
+  // Byte-identity guarantee: specs and artifacts without a workload axis
+  // must not grow any workload/SLO keys.
+  const auto spec = tiny_spec();
+  std::ostringstream os;
+  spec.write_json(os);
+  EXPECT_EQ(os.str().find("\"workload\""), std::string::npos);
+
+  exec::CampaignOptions options;
+  options.jobs = 2;
+  const auto result = exec::run_campaign(spec, options);
+  std::ostringstream artifact;
+  result.write_json(artifact, /*include_profile=*/false);
+  for (const char* key : {"\"workload\"", "\"slo\"", "\"slo_flows\"",
+                          "\"fct_p50_ms\"", "\"miss_in\""}) {
+    EXPECT_EQ(artifact.str().find(key), std::string::npos)
+        << key << " must not appear without a workload axis";
+  }
+}
+
+TEST(CampaignRun, WorkloadSloIsDeterministicAcrossJobCounts) {
+  const auto spec = tiny_workload_spec();
+  exec::CampaignOptions serial;
+  serial.jobs = 1;
+  exec::CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto r1 = exec::run_campaign(spec, serial);
+  const auto r4 = exec::run_campaign(spec, parallel);
+  std::ostringstream a;
+  std::ostringstream b;
+  r1.write_json(a, /*include_profile=*/false);
+  r4.write_json(b, /*include_profile=*/false);
+  EXPECT_EQ(a.str(), b.str())
+      << "SLO section must be byte-identical for any --jobs";
+
+  // Every run carries per-flow SLO stats and the artifact the pooled
+  // aggregate.
+  for (const auto& run : r1.runs) {
+    ASSERT_TRUE(run.ok);
+    EXPECT_TRUE(run.slo);
+    EXPECT_GT(run.slo_flows, 0u);
+    EXPECT_GT(run.slo_completed, 0u);
+    EXPECT_GT(run.fct_p50_ms, 0.0);
+    EXPECT_GE(run.fct_p999_ms, run.fct_p99_ms);
+    EXPECT_GE(run.fct_p99_ms, run.fct_p50_ms);
+  }
+  EXPECT_NE(a.str().find("\"slo\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"fct_p999_ms_max\""), std::string::npos);
+}
+
+TEST(WorkerProtocol, SloFieldsRoundTripExactly) {
+  core::ShardResult r;
+  r.index = 5;
+  r.topology = "f2-4";
+  r.control = "ospf";
+  r.site = "C1";
+  r.seed = 11;
+  r.ok = true;
+  r.slo = true;
+  r.slo_flows = 120;
+  r.slo_completed = 118;
+  r.fct_p50_ms = 1.2345678901234567;  // exercises 17-digit exactness
+  r.fct_p99_ms = 45.5;
+  r.fct_p999_ms = 99.75;
+  r.slo_deadline_in = 30;
+  r.slo_deadline_out = 80;
+  r.slo_miss_in = 0.30000000000000004;
+  r.slo_miss_out = 0.0125;
+  std::ostringstream os;
+  core::write_shard_record(os, r);
+  const std::string line = os.str();
+  const auto back = core::parse_shard_record(
+      std::string_view(line).substr(0, line.size() - 1));
+  EXPECT_TRUE(back.slo);
+  EXPECT_EQ(back.slo_flows, r.slo_flows);
+  EXPECT_EQ(back.slo_completed, r.slo_completed);
+  EXPECT_EQ(back.fct_p50_ms, r.fct_p50_ms);  // bit-exact, not near
+  EXPECT_EQ(back.fct_p99_ms, r.fct_p99_ms);
+  EXPECT_EQ(back.fct_p999_ms, r.fct_p999_ms);
+  EXPECT_EQ(back.slo_deadline_in, r.slo_deadline_in);
+  EXPECT_EQ(back.slo_deadline_out, r.slo_deadline_out);
+  EXPECT_EQ(back.slo_miss_in, r.slo_miss_in);
+  EXPECT_EQ(back.slo_miss_out, r.slo_miss_out);
+
+  // A record without SLO fields parses back with slo == false.
+  core::ShardResult plain;
+  plain.index = 6;
+  plain.topology = "f2-4";
+  plain.control = "ospf";
+  plain.site = "C1";
+  plain.seed = 12;
+  plain.ok = true;
+  std::ostringstream os2;
+  core::write_shard_record(os2, plain);
+  EXPECT_EQ(os2.str().find("\"slo_flows\""), std::string::npos);
+  const auto plain_back = core::parse_shard_record(
+      std::string_view(os2.str()).substr(0, os2.str().size() - 1));
+  EXPECT_FALSE(plain_back.slo);
+}
+
 }  // namespace
 }  // namespace f2t

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "transport/fluid.hpp"
+
+namespace f2t {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Water-filling patterns the incremental component solver must reproduce
+// exactly (the arithmetic is the old full solve restricted to the dirty
+// component — these pin that equivalence on structured cases).
+
+TEST(FluidTable, TwoTierBottleneckWaterFills) {
+  // ch0 cap 10 carries a+b+c, ch1 cap 4 carries a+b, ch2 cap 2 carries a.
+  // Max-min: a freezes at 2 (ch2), b at 2 (ch1 residual), c fills ch0's
+  // remaining 6.
+  transport::FluidFlowTable table(3, 10.0);
+  table.set_capacity(1, 4.0);
+  table.set_capacity(2, 2.0);
+  const auto a = table.add_flow({0, 1, 2});
+  const auto b = table.add_flow({0, 1});
+  const auto c = table.add_flow({0});
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 2.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(b), 2.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(c), 6.0);
+}
+
+TEST(FluidTable, JoinAndLeaveMidEpochReflow) {
+  transport::FluidFlowTable table(2, 12.0);
+  const auto a = table.add_flow({0});
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 12.0);
+  // Join: the newcomer halves a's share on the shared channel.
+  const auto b = table.add_flow({0});
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 6.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(b), 6.0);
+  // Rerouting b off the shared channel restores a in the same epoch.
+  table.set_path(b, {1});
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 12.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(b), 12.0);
+  // Leave: removal releases the capacity; the stale handle stays inert.
+  table.remove_flow(b);
+  table.remove_flow(b);  // no-op, not a crash
+  EXPECT_DOUBLE_EQ(table.rate_of(b), 0.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 12.0);
+  EXPECT_EQ(table.flow_count(), 1u);
+}
+
+TEST(FluidTable, StaleHandleMutationsThrow) {
+  transport::FluidFlowTable table(1, 8.0);
+  const auto f = table.add_flow({0});
+  table.remove_flow(f);
+  EXPECT_THROW(table.set_path(f, {0}), std::out_of_range);
+  EXPECT_THROW(table.set_demand(f, 1.0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Incrementality: a mutation confined to one channel group must re-solve
+// only that group's flows, never the whole table.
+
+TEST(FluidTable, DisjointGroupsSolveIndependently) {
+  // Group A lives on channel 0, group B on channel 1 — no shared channel,
+  // so they are separate components of the channel<->flow graph.
+  transport::FluidFlowTable table(2, 8.0);
+  const auto a1 = table.add_flow({0});
+  const auto a2 = table.add_flow({0});
+  const auto b1 = table.add_flow({1});
+  const auto b2 = table.add_flow({1});
+  table.refresh();
+  // First solve visits everything: all four flows were dirty.
+  EXPECT_EQ(table.last_solve_flows(), 4u);
+  const std::uint64_t after_first = table.solved_flow_visits();
+  EXPECT_EQ(after_first, 4u);
+
+  // Mutating group A re-solves exactly group A (now three flows).
+  const auto a3 = table.add_flow({0});
+  table.refresh();
+  EXPECT_EQ(table.last_solve_flows(), 3u);
+  EXPECT_EQ(table.solved_flow_visits(), after_first + 3);
+  for (const auto id : table.last_solved()) {
+    EXPECT_TRUE(id == a1 || id == a2 || id == a3);
+  }
+  // Group B's rates are correct without having been revisited.
+  EXPECT_DOUBLE_EQ(table.rate_of(b1), 4.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(b2), 4.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(a1), 8.0 / 3.0);
+
+  // A capacity change on channel 1 re-solves exactly group B.
+  table.set_capacity(1, 6.0);
+  table.refresh();
+  EXPECT_EQ(table.last_solve_flows(), 2u);
+  for (const auto id : table.last_solved()) {
+    EXPECT_TRUE(id == b1 || id == b2);
+  }
+  EXPECT_DOUBLE_EQ(table.rate_of(b1), 3.0);
+}
+
+TEST(FluidTable, SharedChannelMergesComponents) {
+  // A flow straddling both channels welds the groups into one component:
+  // a mutation on either side must now re-solve everything it can reach.
+  transport::FluidFlowTable table(2, 8.0);
+  const auto a = table.add_flow({0});
+  const auto b = table.add_flow({1});
+  const auto bridge = table.add_flow({0, 1});
+  table.refresh();
+  EXPECT_EQ(table.last_solve_flows(), 3u);
+  table.set_demand(a, 1.0);
+  table.refresh();
+  // a is on channel 0; the bridge carries the dirtiness to channel 1's b.
+  EXPECT_EQ(table.last_solve_flows(), 3u);
+  EXPECT_DOUBLE_EQ(table.rate_of(a), 1.0);
+  // ch1 (8 over two unfrozen flows) is the bridge's bottleneck, not ch0's
+  // freed residual.
+  EXPECT_DOUBLE_EQ(table.rate_of(bridge), 4.0);
+  EXPECT_DOUBLE_EQ(table.rate_of(b), 4.0);
+}
+
+TEST(FluidTable, RefreshWithoutMutationIsFree) {
+  transport::FluidFlowTable table(1, 8.0);
+  const auto f = table.add_flow({0});
+  table.refresh();
+  const std::uint64_t solves = table.solve_count();
+  const std::uint64_t visits = table.solved_flow_visits();
+  table.refresh();
+  (void)table.rate_of(f);
+  EXPECT_EQ(table.solve_count(), solves);
+  EXPECT_EQ(table.solved_flow_visits(), visits);
+}
+
+}  // namespace
+}  // namespace f2t

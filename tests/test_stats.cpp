@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "sim/random.hpp"
 #include "stats/cdf.hpp"
 #include "stats/flow_metrics.hpp"
 #include "stats/percentile.hpp"
@@ -45,6 +48,42 @@ TEST(Percentile, SmallSamplesClampWithoutExtrapolating) {
   // p = 0 clamps the rank up to 1: the minimum, not an out-of-range read.
   EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 1.0), 3.0);
+}
+
+TEST(Percentile, P999SnapsExactRanksAtScale) {
+  // 0.999 * 1000 is exactly 999 in IEEE arithmetic; the rank must land on
+  // the 999th element, not round up to the maximum via a ceil of
+  // 999.0000000000001-style noise. Same for 0.99 * 100.
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.999), 999.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.99), 990.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.50), 500.0);
+}
+
+TEST(Percentile, TinySamplesCollapseTailPercentiles) {
+  // With a handful of samples p99 == p999 == max: the tail ranks all
+  // round up to the last element instead of extrapolating.
+  const std::vector<double> v{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.99), 9.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 0.999), 9.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(v, 1.0), 9.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_sorted(one, 0.999), 7.0);
+}
+
+TEST(Percentile, FractionalRankInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  // Hyndman-Fan type 7: h = p * (n - 1).
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, 0.25), 17.5);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, 1.0), 40.0);
+  // Out-of-range p clamps, empty input is 0 — mirrors nearest-rank.
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted(v, 1.5), 40.0);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fractional_rank_sorted({3.0}, 0.7), 3.0);
 }
 
 TEST(ThroughputMeter, BinsAndRates) {
@@ -132,6 +171,52 @@ TEST(FlowMetrics, PacketsLost) {
   EXPECT_EQ(packets_lost(60, 100), 0u);
 }
 
+// ------------------------------------------------------------ SLO rollup
+
+TEST(FlowMetrics, ComputeSloSplitsDeadlineMissesByWindow) {
+  using sim::millis;
+  std::vector<FlowSample> flows;
+  // Completed before the window, met its deadline, slowdown 2.
+  flows.push_back({millis(0), millis(10), 1000, millis(5), millis(20)});
+  // Started in-window, completed past its deadline.
+  flows.push_back({millis(120), millis(180), 1000, millis(30), millis(50)});
+  // Started in-window, still open at the horizon, deadline long expired.
+  flows.push_back({millis(150), sim::kNever, 1000, millis(30), millis(50)});
+  // Started after the window, comfortably met its deadline, slowdown 1.
+  flows.push_back({millis(300), millis(320), 1000, millis(20), millis(50)});
+  // Open at the horizon with its deadline still live: proves nothing,
+  // excluded from the deadline split (but counted as a flow).
+  flows.push_back({millis(990), sim::kNever, 1000, millis(20), millis(50)});
+
+  const SloSummary s =
+      compute_slo(flows, millis(100), millis(200), millis(1000));
+  EXPECT_EQ(s.flows, 5u);
+  EXPECT_EQ(s.completed, 3u);
+  // Completed FCTs sorted: 10, 20, 60 ms.
+  EXPECT_DOUBLE_EQ(s.fct_ms_p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.fct_ms_p99, 60.0);
+  EXPECT_DOUBLE_EQ(s.fct_ms_p999, 60.0);
+  EXPECT_DOUBLE_EQ(s.fct_ms_max, 60.0);
+  // Slowdowns sorted: 1, 2, 2 — fractional rank at p50 is the middle.
+  EXPECT_DOUBLE_EQ(s.slowdown_p50, 2.0);
+  EXPECT_EQ(s.deadline_flows_in_window, 2u);
+  EXPECT_EQ(s.deadline_flows_out_window, 2u);
+  EXPECT_DOUBLE_EQ(s.miss_in_window, 1.0);
+  EXPECT_DOUBLE_EQ(s.miss_out_window, 0.0);
+}
+
+TEST(FlowMetrics, ComputeSloEmptyAndBestEffort) {
+  EXPECT_EQ(compute_slo({}, 0, 0, sim::seconds(1)).flows, 0u);
+  // deadline == 0 means best-effort: no deadline accounting at all.
+  std::vector<FlowSample> flows;
+  flows.push_back({0, sim::millis(10), 1000, sim::millis(10), 0});
+  const SloSummary s = compute_slo(flows, 0, 0, sim::seconds(1));
+  EXPECT_EQ(s.deadline_flows_in_window, 0u);
+  EXPECT_EQ(s.deadline_flows_out_window, 0u);
+  EXPECT_DOUBLE_EQ(s.miss_in_window, 0.0);
+  EXPECT_DOUBLE_EQ(s.slowdown_p50, 1.0);
+}
+
 TEST(Cdf, QuantilesAndTails) {
   Cdf cdf;
   for (int i = 1; i <= 100; ++i) cdf.add(i);
@@ -186,6 +271,45 @@ TEST(Table, RejectsBadRows) {
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::percent(0.9625, 2), "96.25%");
+}
+
+// --------------------------------------------------- shared lognormal draws
+//
+// transport/background.cpp and failure/random_failures.cpp draw their
+// intervals and sizes through sim::lognormal_interval / lognormal_bytes.
+// The helpers must reproduce the direct draw sequence bit-for-bit —
+// otherwise consolidating the call sites would silently shift every
+// seeded workload and failure schedule.
+
+TEST(LognormalHelpers, IntervalPinsDirectDrawSequence) {
+  sim::Random helper(42);
+  sim::Random direct(42);
+  for (int i = 0; i < 64; ++i) {
+    const sim::Time expected = std::max<sim::Time>(
+        sim::from_seconds(direct.lognormal_median(0.05, 1.3)),
+        sim::millis(1));
+    EXPECT_EQ(sim::lognormal_interval(helper, 0.05, 1.3, sim::millis(1)),
+              expected);
+  }
+}
+
+TEST(LognormalHelpers, BytesPinsTruncateThenClampSequence) {
+  sim::Random helper(7);
+  sim::Random direct(7);
+  const std::uint64_t lo = 1;
+  const std::uint64_t hi = 1'000'000;
+  for (int i = 0; i < 64; ++i) {
+    const double raw = direct.lognormal_median(20e3, 1.8);
+    std::uint64_t expected;
+    if (!(raw >= static_cast<double>(lo))) {
+      expected = lo;
+    } else if (raw >= static_cast<double>(hi)) {
+      expected = hi;
+    } else {
+      expected = static_cast<std::uint64_t>(raw);  // trunc, not round
+    }
+    EXPECT_EQ(sim::lognormal_bytes(helper, 20e3, 1.8, lo, hi), expected);
+  }
 }
 
 TEST(TimeSeriesBasics, MeanAndDownsample) {

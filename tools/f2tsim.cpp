@@ -17,6 +17,7 @@
 /// Every command maps onto the same library calls the benches and tests
 /// use, so a CLI run is exactly reproducible in code.
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -47,6 +48,9 @@ int usage() {
       "           [--fault cut|unidir|gray|flap] [--gray-loss 1.0]\n"
       "           [--flap-period-ms 300] [--flap-cycles 5]\n"
       "           [--fidelity packet|flow]\n"
+      "           [--workload poisson|incast] [--size-dist websearch|datamining]\n"
+      "           [--wl-load 0.1] [--wl-fanin 8] [--wl-flow-bytes 20000]\n"
+      "           [--wl-deadline-ms 250]\n"
       "           [--log-level trace|debug|info|warn|error|off]\n"
       "           [--metrics-out FILE] [--events-out FILE] [--timeline]\n"
       "           [--trace-out FILE] [--samples-out FILE]\n"
@@ -66,6 +70,9 @@ int usage() {
       "           [--flap-period-ms 300] [--flap-cycles 5]\n"
       "           [--fidelity packet|flow]\n"
       "           [--trace] [--sample-interval-ms 10]\n"
+      "           [--workload poisson|incast] [--size-dist websearch|datamining]\n"
+      "           [--wl-load 0.1] [--wl-fanin 8] [--wl-flow-bytes 20000]\n"
+      "           [--wl-deadline-ms 250]\n"
       "  topo     --topo NAME --ports N [--ring-width 2] [--aspen-f 1] [--dot]\n"
       "  table1   --ports N [--aspen-f 1]\n"
       "topologies: fat f2 f2scaled leafspine leafspine-f2 vl2 vl2-f2 aspen\n"
@@ -86,7 +93,12 @@ int usage() {
       "checkpointed shards with --resume. --random-sites N adds N\n"
       "randomly drawn single-link failures per topology/control (the\n"
       "survivability sweep; aggregated reliability/availability curves\n"
-      "land in the artifact's \"survivability\" section).\n";
+      "land in the artifact's \"survivability\" section). --workload adds\n"
+      "a trace-shaped TCP background workload (Poisson arrivals from an\n"
+      "empirical flow-size CDF, or periodic incast fan-in rounds) to each\n"
+      "run and reports tail-latency SLOs: FCT p50/p99/p999 and the\n"
+      "deadline-miss fraction inside vs outside the failure window\n"
+      "(packet fidelity only).\n";
   return 2;
 }
 
@@ -147,6 +159,50 @@ void apply_detection_flags(core::Cli& cli, core::RunKnobs& knobs) {
     throw std::invalid_argument("unknown fidelity: " + fidelity +
                                 " (packet|flow)");
   }
+}
+
+/// Parses the shared --workload flag family (recover and ad hoc campaign
+/// accept the same set) into the spec axis. Returns false — leaving the
+/// axis disabled — when --workload was not given.
+bool parse_workload_flags(core::Cli& cli,
+                          core::CampaignSpec::WorkloadAxis& wl) {
+  const std::string kind = cli.get("workload", "");
+  // The satellite flags are consumed up front (marking them known to the
+  // Cli) so they are inert without --workload instead of tripping the
+  // unknown-option check.
+  const std::string size_dist = cli.get("size-dist", wl.size_dist);
+  const double load = cli.get_double("wl-load", wl.load);
+  const int fanin = cli.get_int("wl-fanin", wl.fanin);
+  const int flow_bytes =
+      cli.get_int("wl-flow-bytes", static_cast<int>(wl.flow_bytes));
+  const int deadline_ms = cli.get_int("wl-deadline-ms", wl.deadline_ms);
+  if (kind.empty()) return false;
+  if (kind != "poisson" && kind != "incast") {
+    throw std::invalid_argument("unknown workload: " + kind +
+                                " (poisson|incast)");
+  }
+  wl.enabled = true;
+  wl.kind = kind;
+  wl.size_dist = size_dist;
+  if (wl.size_dist != "websearch" && wl.size_dist != "datamining") {
+    throw std::invalid_argument("unknown size-dist: " + wl.size_dist +
+                                " (websearch|datamining)");
+  }
+  wl.load = load;
+  if (!(wl.load > 0) || wl.load > 1) {
+    throw std::invalid_argument("--wl-load must be in (0, 1]");
+  }
+  wl.fanin = fanin;
+  if (wl.fanin < 1) throw std::invalid_argument("--wl-fanin must be >= 1");
+  if (flow_bytes < 1) {
+    throw std::invalid_argument("--wl-flow-bytes must be >= 1");
+  }
+  wl.flow_bytes = static_cast<std::uint64_t>(flow_bytes);
+  wl.deadline_ms = deadline_ms;
+  if (wl.deadline_ms < 0) {
+    throw std::invalid_argument("--wl-deadline-ms must be >= 0");
+  }
+  return true;
 }
 
 /// Export destinations for one observed run's artefacts.
@@ -235,6 +291,15 @@ int cmd_recover(core::Cli& cli) {
       sim::millis(cli.get_int("spf-ms", 200));
   knobs.config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   apply_detection_flags(cli, knobs);
+  core::CampaignSpec::WorkloadAxis workload_axis;
+  if (parse_workload_flags(cli, workload_axis)) {
+    if (proto != "udp") {
+      throw std::invalid_argument(
+          "--workload rides the UDP probe run (use --proto udp)");
+    }
+    knobs.workload_enabled = true;
+    knobs.workload = exec::workload_options_of(workload_axis, knobs.horizon);
+  }
   knobs.config.log_level = parse_log_level_option(cli);
   knobs.config.observe = paths.timeline || !paths.metrics_out.empty() ||
                          !paths.events_out.empty() || !paths.trace_out.empty();
@@ -259,6 +324,17 @@ int cmd_recover(core::Cli& cli) {
                sim::format_time(r.connectivity_loss)});
     table.row({"packets sent", std::to_string(r.packets_sent)});
     table.row({"packets lost", std::to_string(r.packets_lost)});
+    if (r.slo_enabled) {
+      table.row({"workload flows", std::to_string(r.slo.flows)});
+      table.row({"workload completed", std::to_string(r.slo.completed)});
+      table.row({"fct p50 ms", stats::Table::num(r.slo.fct_ms_p50, 3)});
+      table.row({"fct p99 ms", stats::Table::num(r.slo.fct_ms_p99, 3)});
+      table.row({"fct p999 ms", stats::Table::num(r.slo.fct_ms_p999, 3)});
+      table.row({"deadline miss (failure window)",
+                 stats::Table::percent(r.slo.miss_in_window, 3)});
+      table.row({"deadline miss (outside)",
+                 stats::Table::percent(r.slo.miss_out_window, 3)});
+    }
     if (const int rc = export_observation(r.observation, paths); rc != 0) {
       return rc;
     }
@@ -398,6 +474,9 @@ core::CampaignSpec campaign_spec_from_flags(core::Cli& cli) {
   if (spec.sample_interval_ms < 0) {
     throw std::invalid_argument("--sample-interval-ms must be >= 0");
   }
+  if (parse_workload_flags(cli, spec.workload) && spec.fidelity == "flow") {
+    throw std::invalid_argument("--workload requires --fidelity packet");
+  }
   if (spec.conditions.empty() && spec.link_sites == 0 &&
       spec.random_sites == 0) {
     // Bare "f2tsim campaign" sweeps the paper's Table IV conditions.
@@ -533,6 +612,43 @@ int cmd_campaign(core::Cli& cli) {
                 stats::Table::num(a.reliability[2], 3)});
     }
     surv.print(std::cout);
+  }
+  if (spec.workload.enabled) {
+    // Pooled SLO summary over the shards that carried the workload —
+    // the same arithmetic as the artifact's "slo" section.
+    int slo_runs = 0;
+    std::size_t flows = 0;
+    std::size_t completed = 0;
+    std::size_t dl_in = 0;
+    std::size_t dl_out = 0;
+    double missed_in = 0;
+    double missed_out = 0;
+    double p99_sum = 0;
+    double p999_max = 0;
+    for (const auto& r : result.runs) {
+      if (!r.slo) continue;
+      ++slo_runs;
+      flows += r.slo_flows;
+      completed += r.slo_completed;
+      dl_in += r.slo_deadline_in;
+      dl_out += r.slo_deadline_out;
+      missed_in += r.slo_miss_in * static_cast<double>(r.slo_deadline_in);
+      missed_out += r.slo_miss_out * static_cast<double>(r.slo_deadline_out);
+      p99_sum += r.fct_p99_ms;
+      p999_max = std::max(p999_max, r.fct_p999_ms);
+    }
+    stats::Table slo({"slo runs", "flows", "completed", "fct p99 ms mean",
+                      "fct p999 ms max", "miss in-window", "miss outside"});
+    slo.row({std::to_string(slo_runs), std::to_string(flows),
+             std::to_string(completed),
+             stats::Table::num(slo_runs > 0 ? p99_sum / slo_runs : 0, 3),
+             stats::Table::num(p999_max, 3),
+             stats::Table::percent(
+                 dl_in > 0 ? missed_in / static_cast<double>(dl_in) : 0, 3),
+             stats::Table::percent(
+                 dl_out > 0 ? missed_out / static_cast<double>(dl_out) : 0,
+                 3)});
+    slo.print(std::cout);
   }
   std::cout << result.runs.size() << " shards, ";
   if (result.workers > 0) {
